@@ -1,0 +1,343 @@
+// Package dyntreecast benchmarks: one benchmark per experiment in
+// DESIGN.md §4 (the paper's Figure 1 plus the quantitative claims of §2,
+// §3 and the related-work connections), plus engine ablations.
+//
+// Benchmarks report the measured scientific quantity via b.ReportMetric
+// (rounds, ratios, state counts) in addition to the usual ns/op, so
+// `go test -bench . -benchmem` regenerates every number in
+// EXPERIMENTS.md.
+package dyntreecast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dyntreecast"
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/consensus"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/experiment"
+	"dyntreecast/internal/gamesolver"
+	"dyntreecast/internal/gossip"
+	"dyntreecast/internal/graph"
+	"dyntreecast/internal/nonsplit"
+	"dyntreecast/internal/procs"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/trace"
+	"dyntreecast/internal/tree"
+)
+
+// BenchmarkFigure1 (E1) regenerates the Figure 1 comparison: best measured
+// broadcast time per n across the adversary suite, against every bound
+// curve. The reported metrics are the table's "measured" column.
+func BenchmarkFigure1(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var best int
+			for i := 0; i < b.N; i++ {
+				var err error
+				best, _, err = experiment.BestMeasured(n, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bounds.CheckSandwich(n, best); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(best), "t*_measured")
+			b.ReportMetric(float64(bounds.UpperLinear(n)), "upper")
+			b.ReportMetric(float64(bounds.Lower(n)), "lower")
+			b.ReportMetric(float64(bounds.NLogLogN(n)), "nloglogn")
+			b.ReportMetric(float64(bounds.NLogN(n)), "nlogn")
+		})
+	}
+}
+
+// BenchmarkTheorem31 (E2) verifies the sandwich at every n in the sweep:
+// no adversary may exceed ⌈(1+√2)n−1⌉.
+func BenchmarkTheorem31(b *testing.B) {
+	for _, n := range []int{2, 3, 4, 5, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var best int
+			for i := 0; i < b.N; i++ {
+				var err error
+				best, _, err = experiment.BestMeasured(n, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if best > bounds.UpperLinear(n) {
+					b.Fatalf("Theorem 3.1 violated: t*=%d > %d at n=%d",
+						best, bounds.UpperLinear(n), n)
+				}
+			}
+			b.ReportMetric(float64(best)/float64(n), "t*/n")
+		})
+	}
+}
+
+// BenchmarkStaticPath (E3) reproduces §2's t*(static path) = n−1.
+func BenchmarkStaticPath(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			adv := adversary.Static{Tree: tree.IdentityPath(n)}
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				var err error
+				rounds, err = core.BroadcastTime(n, adv)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if rounds != n-1 {
+				b.Fatalf("static path t* = %d, want %d", rounds, n-1)
+			}
+			b.ReportMetric(float64(rounds), "t*")
+		})
+	}
+}
+
+// BenchmarkEdgeGrowth (E4) verifies the §2 growth lemma (≥1 new product
+// edge per round before completion) on adversarial runs and reports the
+// minimum per-round growth observed.
+func BenchmarkEdgeGrowth(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			minGrowth := n * n
+			for i := 0; i < b.N; i++ {
+				var rec trace.Recorder
+				_, err := core.Run(n, adversary.AscendingPath{}, core.Broadcast,
+					core.WithObserver(rec.Observer()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bad := trace.VerifyGrowth(rec.Records()); bad != nil {
+					b.Fatalf("growth lemma violated at round %d", bad.Round)
+				}
+				for _, r := range rec.Records() {
+					if r.NewEdges < minGrowth {
+						minGrowth = r.NewEdges
+					}
+				}
+			}
+			b.ReportMetric(float64(minGrowth), "min_new_edges")
+		})
+	}
+}
+
+// BenchmarkRestricted (E5) measures the k-leaf and k-inner restricted
+// regimes: t* stays linear in n for fixed k.
+func BenchmarkRestricted(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		for _, n := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("k%d/n%d", k, n), func(b *testing.B) {
+				src := rng.New(uint64(n)*100 + uint64(k))
+				total, runs := 0, 0
+				for i := 0; i < b.N; i++ {
+					rounds, err := core.BroadcastTime(n, adversary.KLeaves{K: k, Src: src})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += rounds
+					runs++
+				}
+				b.ReportMetric(float64(total)/float64(runs), "t*_mean")
+				b.ReportMetric(float64(total)/float64(runs)/float64(n), "t*/n")
+			})
+		}
+	}
+}
+
+// BenchmarkNonsplit (E6) checks the [1] simulation lemma: products of n−1
+// rooted trees are nonsplit.
+func BenchmarkNonsplit(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			src := rng.New(uint64(n))
+			trees := make([]*tree.Tree, n-1)
+			for i := 0; i < b.N; i++ {
+				for j := range trees {
+					trees[j] = tree.Random(n, src)
+				}
+				if !graph.ProductOfTrees(trees).IsNonsplit() {
+					b.Fatalf("n=%d: product of n-1 trees not nonsplit", n)
+				}
+			}
+			b.ReportMetric(1, "nonsplit_fraction")
+		})
+	}
+}
+
+// BenchmarkExact (E7) times the exact game solver and reports t*(Tn) and
+// the canonical state count.
+func BenchmarkExact(b *testing.B) {
+	want := map[int]int{2: 1, 3: 2, 4: 4, 5: 5}
+	for n := 2; n <= 5; n++ {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var v, states int
+			for i := 0; i < b.N; i++ {
+				s, err := gamesolver.New(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = s.Value()
+				states = s.StatesExplored()
+			}
+			if v != want[n] {
+				b.Fatalf("t*(T%d) = %d, want %d", n, v, want[n])
+			}
+			b.ReportMetric(float64(v), "t*")
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkMatrixEvolution (E8) runs the instrumented engine under the
+// strongest deterministic heuristic and reports the matrix quantities the
+// paper's proof tracks at completion time.
+func BenchmarkMatrixEvolution(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var final core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				final, err = core.Run(n, adversary.AscendingPath{}, core.Broadcast)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(final.Rounds), "t*")
+			b.ReportMetric(float64(final.FinalStats.Edges), "final_edges")
+			b.ReportMetric(float64(final.FinalStats.MinRow), "final_min_row")
+		})
+	}
+}
+
+// BenchmarkGossip (E9) measures the gossip/broadcast ratio under random
+// adversaries.
+func BenchmarkGossip(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			src := rng.New(uint64(n))
+			var sumB, sumG int
+			for i := 0; i < b.N; i++ {
+				bt, gt, err := gossip.BothTimes(n, adversary.Random{Src: src.Split()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sumB += bt
+				sumG += gt
+			}
+			b.ReportMetric(float64(sumG)/float64(sumB), "gossip/broadcast")
+		})
+	}
+}
+
+// BenchmarkEngines is the engine ablation: column-oriented (fast path),
+// row-oriented matrix engine, and the goroutine message-passing system on
+// identical workloads.
+func BenchmarkEngines(b *testing.B) {
+	const n = 256
+	src := rng.New(1)
+	trees := make([]*tree.Tree, 64)
+	for i := range trees {
+		trees[i] = tree.Random(n, src)
+	}
+	b.Run("column", func(b *testing.B) {
+		e := core.NewEngine(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step(trees[i%len(trees)])
+		}
+	})
+	b.Run("matrix", func(b *testing.B) {
+		e := core.NewMatrixEngine(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Step(trees[i%len(trees)])
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		s := procs.New(n)
+		defer s.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Step(trees[i%len(trees)])
+		}
+	})
+}
+
+// BenchmarkSolverCanonicalization is the solver ablation: permutation
+// canonicalization on vs off at n = 4 (both must agree on the value).
+func BenchmarkSolverCanonicalization(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, _ := gamesolver.New(4)
+			if s.Value() != 4 {
+				b.Fatal("wrong value")
+			}
+		}
+	})
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, _ := gamesolver.New(4, gamesolver.WithoutCanonicalization())
+			if s.Value() != 4 {
+				b.Fatal("wrong value")
+			}
+		}
+	})
+}
+
+// BenchmarkPublicAPI exercises the facade end to end (the quickstart
+// flow) so API overhead is visible.
+func BenchmarkPublicAPI(b *testing.B) {
+	r := dyntreecast.NewRand(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := dyntreecast.BroadcastTime(64, dyntreecast.RandomAdversary(r)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNonsplitGame (E6b, the §5 extension) measures broadcast under
+// nonsplit-restricted adversaries: the O(log log n) regime, versus the
+// linear rooted-tree regime.
+func BenchmarkNonsplitGame(b *testing.B) {
+	for _, n := range []int{32, 128, 256} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				var err error
+				rounds, err = nonsplit.Time(n, nonsplit.LazyCover{}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds), "t*")
+			b.ReportMetric(float64(bounds.Lower(n)), "tree_lower")
+		})
+	}
+}
+
+// BenchmarkConsensus (E10 extension) measures FloodMin termination under
+// random adversaries.
+func BenchmarkConsensus(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			src := rng.New(uint64(n))
+			proposals := make([]int, n)
+			for i := range proposals {
+				proposals[i] = i * 3 % n
+			}
+			var last int
+			for i := 0; i < b.N; i++ {
+				res, err := consensus.FloodMin(proposals, adversary.Random{Src: src.Split()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Rounds
+			}
+			b.ReportMetric(float64(last), "rounds")
+		})
+	}
+}

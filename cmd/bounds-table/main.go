@@ -1,0 +1,67 @@
+// Command bounds-table regenerates Figure 1 of the paper: the known and
+// new upper-bound regimes for broadcast in dynamic rooted trees, evaluated
+// over a sweep of n, with the best measured broadcast time of this
+// repository's adversary suite alongside (experiment E1).
+//
+// Usage:
+//
+//	bounds-table
+//	bounds-table -ns 4,8,16,32,64 -seed 2 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyntreecast/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds-table:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bounds-table", flag.ContinueOnError)
+	var (
+		nsFlag = fs.String("ns", "2,3,4,5,8,12,16,24,32", "comma-separated n values")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		asCSV  = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return err
+	}
+	table, err := experiment.Figure1(ns, *seed)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		return table.WriteCSV(os.Stdout)
+	}
+	return table.WriteText(os.Stdout)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("n must be >= 1, got %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

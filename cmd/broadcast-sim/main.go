@@ -1,0 +1,120 @@
+// Command broadcast-sim runs one broadcast (or gossip) simulation under a
+// chosen adversary and prints the per-round matrix-evolution trace — the
+// quantities the paper's analysis tracks (experiment E8).
+//
+// Usage:
+//
+//	broadcast-sim -n 32 -adversary ascending-path -trace
+//	broadcast-sim -n 16 -adversary random-tree -seed 7 -goal gossip -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/experiment"
+	"dyntreecast/internal/gamesolver"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "broadcast-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("broadcast-sim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 16, "number of processes")
+		advName  = fs.String("adversary", "ascending-path", "adversary: "+strings.Join(advNames(), ", "))
+		seed     = fs.Uint64("seed", 1, "random seed")
+		goalName = fs.String("goal", "broadcast", "goal: broadcast or gossip")
+		showTr   = fs.Bool("trace", false, "print the per-round trace table")
+		asJSON   = fs.Bool("json", false, "print the trace as JSON instead of text")
+		maxR     = fs.Int("max-rounds", 0, "round budget (0 = n^2+1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("n must be >= 1, got %d", *n)
+	}
+
+	adv, err := buildAdversary(*advName, *n, *seed)
+	if err != nil {
+		return err
+	}
+	goal := core.Broadcast
+	switch *goalName {
+	case "broadcast":
+	case "gossip":
+		goal = core.Gossip
+	default:
+		return fmt.Errorf("unknown goal %q", *goalName)
+	}
+
+	var rec trace.Recorder
+	opts := []core.Option{core.WithObserver(rec.Observer())}
+	if *maxR > 0 {
+		opts = append(opts, core.WithMaxRounds(*maxR))
+	}
+	res, err := core.Run(*n, adv, goal, opts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("n=%d adversary=%s goal=%s: completed in %d rounds\n",
+		*n, *advName, goal, res.Rounds)
+	fmt.Printf("bounds: lower=%d upper=%d (measured/n = %.3f)\n",
+		bounds.Lower(*n), bounds.UpperLinear(*n), float64(res.Rounds)/float64(*n))
+	if goal == core.Broadcast {
+		fmt.Printf("broadcasters: %v\n", res.Broadcasters)
+		if err := bounds.CheckSandwich(*n, res.Rounds); err != nil {
+			return err
+		}
+	}
+	if *showTr || *asJSON {
+		if *asJSON {
+			return rec.WriteJSON(os.Stdout)
+		}
+		return rec.WriteTable(os.Stdout)
+	}
+	return nil
+}
+
+func advNames() []string {
+	names := make([]string, 0, 8)
+	for _, na := range experiment.Portfolio() {
+		names = append(names, na.Name)
+	}
+	return append(names, "beam-search", "exact-optimal")
+}
+
+func buildAdversary(name string, n int, seed uint64) (core.Adversary, error) {
+	for _, na := range experiment.Portfolio() {
+		if na.Name == name {
+			return na.New(n, rng.New(seed)), nil
+		}
+	}
+	switch name {
+	case "beam-search":
+		rep, _ := adversary.BeamSearch(n, adversary.BeamConfig{Width: 16, Seed: seed})
+		return rep, nil
+	case "exact-optimal":
+		s, err := gamesolver.New(n)
+		if err != nil {
+			return nil, err
+		}
+		return gamesolver.Optimal{S: s}, nil
+	}
+	return nil, fmt.Errorf("unknown adversary %q (known: %s)",
+		name, strings.Join(advNames(), ", "))
+}

@@ -1,0 +1,114 @@
+// Command exact-solver computes the exact broadcast time t*(Tn) for small
+// n by solving the full adversary game (experiment E7), and optionally
+// prints an optimal schedule.
+//
+// Usage:
+//
+//	exact-solver -max-n 5
+//	exact-solver -max-n 5 -schedule
+//	exact-solver -max-n 6 -force       # n=6 takes a long time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/gamesolver"
+	"dyntreecast/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "exact-solver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("exact-solver", flag.ContinueOnError)
+	var (
+		maxN     = fs.Int("max-n", gamesolver.MaxN, "solve for n = 2..max-n")
+		schedule = fs.Bool("schedule", false, "print an optimal tree schedule per n")
+		force    = fs.Bool("force", false, "allow n above the default safety limit (slow)")
+		deepN    = fs.Int("deep", 0, "run the anytime deep-line witness search at this n (6 or 7 are practical) instead of exact solving")
+		budget   = fs.Int("budget", 30000, "state-expansion budget for -deep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *deepN > 0 {
+		return runDeep(*deepN, *budget)
+	}
+
+	for n := 2; n <= *maxN; n++ {
+		var opts []gamesolver.Option
+		if *force {
+			opts = append(opts, gamesolver.WithMaxN(*maxN))
+		}
+		s, err := gamesolver.New(n, opts...)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		v := s.Value()
+		status := "matches lower bound"
+		if v != bounds.Lower(n) {
+			status = fmt.Sprintf("DIFFERS from lower bound %d", bounds.Lower(n))
+		}
+		fmt.Printf("n=%d  t*=%d  lower=%d  upper=%d  states=%d  %v  (%s)\n",
+			n, v, bounds.Lower(n), bounds.UpperLinear(n),
+			s.StatesExplored(), time.Since(start).Round(time.Millisecond), status)
+		if v > bounds.UpperLinear(n) {
+			return fmt.Errorf("n=%d: exact value %d exceeds the paper's upper bound %d",
+				n, v, bounds.UpperLinear(n))
+		}
+		if *schedule {
+			if err := printSchedule(n, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runDeep(n, budget int) error {
+	start := time.Now()
+	line, depth, err := gamesolver.DeepestLine(n, budget, 4)
+	if err != nil {
+		return err
+	}
+	replayed, err := core.BroadcastTime(n, replayAdv{line})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d budget=%d: certified t*(Tn) >= %d (search depth %d, replay %d, lower-bound formula %d) in %s\n",
+		n, budget, replayed, depth, replayed, bounds.Lower(n), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// replayAdv repeats the last tree once the schedule is exhausted.
+type replayAdv struct{ trees []*tree.Tree }
+
+func (r replayAdv) Next(v core.View) *tree.Tree {
+	if len(r.trees) == 0 {
+		return nil
+	}
+	if i := v.Round(); i < len(r.trees) {
+		return r.trees[i]
+	}
+	return r.trees[len(r.trees)-1]
+}
+
+func printSchedule(n int, s *gamesolver.Solver) error {
+	fmt.Printf("  optimal schedule for n=%d:\n", n)
+	_, err := core.Run(n, gamesolver.Optimal{S: s}, core.Broadcast,
+		core.WithObserver(func(round int, t *tree.Tree, e *core.Engine) {
+			fmt.Printf("    round %d: %v (leaves=%d, path=%v)\n",
+				round, t, t.NumLeaves(), t.IsPath())
+		}))
+	return err
+}

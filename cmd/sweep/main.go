@@ -1,0 +1,94 @@
+// Command sweep regenerates any experiment of the reproduction as a text
+// table or CSV. One subcommand flag per experiment in DESIGN.md §4.
+//
+// Usage:
+//
+//	sweep -exp figure1
+//	sweep -exp theorem31 -ns 2,4,8,16,32 -csv
+//	sweep -exp restricted -ns 16,32 -ks 2,4,8 -trials 10
+//	sweep -exp nonsplit -ns 4,8,16 -trials 50
+//	sweep -exp exact
+//	sweep -exp gossip -ns 8,16,32 -trials 20
+//	sweep -exp static -ns 2,8,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyntreecast/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "figure1", "experiment: figure1, theorem31, static, restricted, nonsplit, exact, gossip")
+		nsFlag = fs.String("ns", "2,4,8,16,32", "comma-separated n values")
+		ksFlag = fs.String("ks", "2,3,4", "comma-separated k values (restricted)")
+		trials = fs.Int("trials", 10, "trials per configuration (randomized experiments)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		maxN   = fs.Int("max-n", 5, "largest n for the exact experiment")
+		asCSV  = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return fmt.Errorf("-ns: %w", err)
+	}
+	ks, err := parseInts(*ksFlag)
+	if err != nil {
+		return fmt.Errorf("-ks: %w", err)
+	}
+
+	var table *experiment.Table
+	switch *exp {
+	case "figure1":
+		table, err = experiment.Figure1(ns, *seed)
+	case "theorem31":
+		table, err = experiment.Theorem31(ns, *seed)
+	case "static":
+		table, err = experiment.StaticPath(ns)
+	case "restricted":
+		table, err = experiment.Restricted(ns, ks, *trials, *seed)
+	case "nonsplit":
+		table, err = experiment.Nonsplit(ns, *trials, *seed)
+	case "exact":
+		table, err = experiment.Exact(*maxN, *seed)
+	case "gossip":
+		table, err = experiment.GossipVsBroadcast(ns, *trials, *seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		return table.WriteCSV(os.Stdout)
+	}
+	return table.WriteText(os.Stdout)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+// Package dyntreecast simulates and analyzes the broadcast problem on
+// dynamic rooted trees, reproducing "Brief Announcement: Broadcasting Time
+// in Dynamic Rooted Trees is Linear" (El-Hayek, Henzinger, Schmid; PODC
+// 2022).
+//
+// # Model
+//
+// n processes communicate in synchronous rounds. Each round an adversary
+// chooses an arbitrary rooted tree on the processes; information flows one
+// hop along every parent → child edge (each node also keeps its own
+// knowledge — the model's self-loops). Knowledge composes as the product
+// graph G(t) = G1 ∘ … ∘ Gt, and the broadcast time t* is the first round
+// at which some process's value has reached every process. The paper
+// proves
+//
+//	⌈(3n−1)/2⌉ − 2  ≤  t*(Tn)  ≤  ⌈(1+√2)·n − 1⌉
+//
+// # Quick start
+//
+//	rounds, err := dyntreecast.BroadcastTime(64,
+//	    dyntreecast.RandomAdversary(dyntreecast.NewRand(1)))
+//
+// The package offers three strata of adversaries (oblivious schedules,
+// adaptive heuristics, and search), two exact-equivalence-tested engines,
+// the paper's bound formulas, and an exact game solver for small n. See
+// the examples/ directory and DESIGN.md for the full tour.
+package dyntreecast
+
+import (
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/consensus"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/gamesolver"
+	"dyntreecast/internal/gossip"
+	"dyntreecast/internal/graph"
+	"dyntreecast/internal/nonsplit"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// Core model types, aliased from the implementation packages so that the
+// root package is the only import a downstream user needs.
+type (
+	// Tree is a rooted labeled tree on {0,…,n−1}, the round graph of the
+	// model (self-loops implicit).
+	Tree = tree.Tree
+	// Adversary chooses the tree for each round.
+	Adversary = core.Adversary
+	// View is the read-only knowledge state an Adversary observes.
+	View = core.View
+	// Engine is the column-oriented simulation engine, for callers that
+	// want to drive rounds manually.
+	Engine = core.Engine
+	// Result reports a completed (or budget-capped) run.
+	Result = core.Result
+	// Goal selects broadcast or gossip termination.
+	Goal = core.Goal
+	// Option configures Run.
+	Option = core.Option
+	// Rand is the deterministic random source used everywhere.
+	Rand = rng.Source
+	// ExactSolver computes exact t*(Tn) for small n.
+	ExactSolver = gamesolver.Solver
+)
+
+// Goals.
+const (
+	// Broadcast stops when some value has reached every process (t*).
+	Broadcast = core.Broadcast
+	// Gossip stops when every process has heard every value. Unbounded
+	// under adaptive adversaries; see internal/gossip's documentation.
+	Gossip = core.Gossip
+)
+
+// Sentinel errors.
+var (
+	// ErrMaxRounds reports an exhausted round budget.
+	ErrMaxRounds = core.ErrMaxRounds
+	// ErrBadTree reports an adversary returning nil or a wrong-size tree.
+	ErrBadTree = core.ErrBadTree
+	// ErrInvalidTree wraps all tree-construction failures.
+	ErrInvalidTree = tree.ErrInvalidTree
+)
+
+// NewRand returns a deterministic random source. Equal seeds give
+// bit-identical streams on every platform and Go release.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewTree builds a rooted tree from a parent array (the root is its own
+// parent).
+func NewTree(parents []int) (*Tree, error) { return tree.New(parents) }
+
+// PathTree returns the directed path visiting order[0] → order[1] → …;
+// order must be a permutation of [0,n).
+func PathTree(order []int) (*Tree, error) { return tree.Path(order) }
+
+// IdentityPathTree returns the path 0 → 1 → … → n−1, the static schedule
+// with t* = n−1.
+func IdentityPathTree(n int) *Tree { return tree.IdentityPath(n) }
+
+// StarTree returns the star rooted at root: broadcast completes in one
+// round.
+func StarTree(n, root int) (*Tree, error) { return tree.Star(n, root) }
+
+// RandomTree returns a uniformly random rooted labeled tree on n vertices
+// (all n^(n−1) trees equally likely).
+func RandomTree(n int, r *Rand) *Tree { return tree.Random(n, r) }
+
+// NewEngine returns a fresh simulation engine on n processes for manual
+// stepping; most callers use Run or BroadcastTime instead.
+func NewEngine(n int) *Engine { return core.NewEngine(n) }
+
+// Run drives adv from the initial state until the goal holds.
+func Run(n int, adv Adversary, goal Goal, opts ...Option) (Result, error) {
+	return core.Run(n, adv, goal, opts...)
+}
+
+// BroadcastTime runs adv to broadcast completion and returns the paper's
+// quantity t*.
+func BroadcastTime(n int, adv Adversary, opts ...Option) (int, error) {
+	return core.BroadcastTime(n, adv, opts...)
+}
+
+// WithMaxRounds caps a run's rounds (default n²+1, which §2 of the paper
+// guarantees suffices for broadcast).
+func WithMaxRounds(m int) Option { return core.WithMaxRounds(m) }
+
+// WithObserver installs a per-round callback.
+func WithObserver(fn func(round int, t *Tree, e *Engine)) Option {
+	return core.WithObserver(fn)
+}
+
+// StaticAdversary plays the same tree every round.
+func StaticAdversary(t *Tree) Adversary { return adversary.Static{Tree: t} }
+
+// ScheduleAdversary plays the given trees in order, then repeats the last
+// one forever.
+func ScheduleAdversary(trees []*Tree) Adversary { return adversary.Replay{Trees: trees} }
+
+// RandomAdversary plays an independent uniformly random rooted tree each
+// round.
+func RandomAdversary(r *Rand) Adversary { return adversary.Random{Src: r} }
+
+// RandomPathAdversary plays an independent uniformly random path each
+// round.
+func RandomPathAdversary(r *Rand) Adversary { return adversary.RandomPath{Src: r} }
+
+// KLeavesAdversary plays random trees with exactly k leaves — the
+// restricted class with O(k·n) broadcast time (Zeiner et al.).
+func KLeavesAdversary(k int, r *Rand) Adversary { return adversary.KLeaves{K: k, Src: r} }
+
+// KInnerAdversary plays random trees with exactly k inner nodes — the
+// other restricted O(k·n) class.
+func KInnerAdversary(k int, r *Rand) Adversary { return adversary.KInner{K: k, Src: r} }
+
+// AscendingPathAdversary plays the path ordered by ascending heard-set
+// size: a strong deterministic stalling heuristic (≈ n−1 rounds).
+func AscendingPathAdversary() Adversary { return adversary.AscendingPath{} }
+
+// BlockLeaderAdversary freezes the most-spread value each round.
+func BlockLeaderAdversary() Adversary { return adversary.BlockLeader{} }
+
+// MinGainAdversary plays a minimum-total-knowledge-gain arborescence each
+// round (Chu-Liu/Edmonds). Deliberately measurable as a *failed* heuristic:
+// ignoring concentration, it ties into a star and loses immediately — see
+// EXPERIMENTS.md E8.
+func MinGainAdversary() Adversary { return adversary.MinGain{} }
+
+// SearchSchedule runs an offline beam search for a long-surviving tree
+// schedule and returns it with the broadcast time it certifies.
+func SearchSchedule(n int, width int, seed uint64) (Adversary, int) {
+	rep, rounds := adversary.BeamSearch(n, adversary.BeamConfig{Width: width, Seed: seed})
+	return rep, rounds
+}
+
+// NewExactSolver returns the exact game solver for n ≤ 5 (see the
+// gamesolver package for the complexity discussion).
+func NewExactSolver(n int) (*ExactSolver, error) { return gamesolver.New(n) }
+
+// DeepSearchSchedule runs the anytime deep-line game search (n ≤ 8;
+// practical for n ≤ 7) and returns the longest surviving schedule found as
+// an adversary, together with the broadcast time it certifies. Unlike
+// NewExactSolver it gives a lower-bound witness rather than the exact
+// value; with modest budgets it certifies the ⌈(3n−1)/2⌉−2 values at
+// n = 6 and 7, beyond exact-solver reach.
+func DeepSearchSchedule(n, budget, width int) (Adversary, int, error) {
+	line, _, err := gamesolver.DeepestLine(n, budget, width)
+	if err != nil {
+		return nil, 0, err
+	}
+	adv := adversary.Replay{Trees: line}
+	rounds, err := core.BroadcastTime(n, adv)
+	if err != nil {
+		return nil, 0, err
+	}
+	return adv, rounds, nil
+}
+
+// OptimalAdversary is perfect play for small n, backed by an ExactSolver.
+func OptimalAdversary(s *ExactSolver) Adversary { return gamesolver.Optimal{S: s} }
+
+// LowerBound returns ⌈(3n−1)/2⌉ − 2, the known lower bound on t*(Tn).
+func LowerBound(n int) int { return bounds.Lower(n) }
+
+// UpperBound returns ⌈(1+√2)·n − 1⌉, the paper's linear upper bound.
+func UpperBound(n int) int { return bounds.UpperLinear(n) }
+
+// TrivialBound returns n² (§2).
+func TrivialBound(n int) int { return bounds.Trivial(n) }
+
+// NLogNBound returns the ⌈n·log₂ n⌉ bound curve of [2]+[1].
+func NLogNBound(n int) int { return bounds.NLogN(n) }
+
+// NLogLogNBound returns the ⌈2n·log₂log₂ n⌉ curve of [9].
+func NLogLogNBound(n int) int { return bounds.NLogLogN(n) }
+
+// CheckSandwich errors if a measured broadcast time violates the paper's
+// upper bound (which would falsify Theorem 3.1 or reveal a bug).
+func CheckSandwich(n, tstar int) error { return bounds.CheckSandwich(n, tstar) }
+
+// GossipTime runs adv until every process has heard every value. Unlike
+// broadcast, adversarial gossip need not terminate (see StallerAdversary);
+// set WithMaxRounds and handle ErrMaxRounds.
+func GossipTime(n int, adv Adversary, opts ...Option) (int, error) {
+	return gossip.Time(n, adv, opts...)
+}
+
+// BroadcastAndGossipTimes reports, for one run of adv, the round at which
+// broadcast completed and the round at which gossip completed.
+func BroadcastAndGossipTimes(n int, adv Adversary, opts ...Option) (broadcast, gossipRounds int, err error) {
+	return gossip.BothTimes(n, adv, opts...)
+}
+
+// StallerAdversary stalls gossip forever on any n ≥ 2 (while completing
+// broadcast in a single round): it always plays the star rooted at the
+// last process, whose own heard set therefore never grows.
+func StallerAdversary() Adversary { return gossip.Staller{} }
+
+// ProductOfTreesIsNonsplit reports whether the product graph of the given
+// round graphs has a common in-neighbor for every pair of vertices. The
+// simulation lemma behind the previous O(n log log n) bound states this
+// always holds for any n−1 rooted trees on n vertices.
+func ProductOfTreesIsNonsplit(trees []*Tree) bool {
+	return graph.ProductOfTrees(trees).IsNonsplit()
+}
+
+// ProductOfTreesRadius returns the minimum eccentricity over vertices that
+// reach everyone in the product graph of the given round graphs, or −1 if
+// no vertex reaches all others.
+func ProductOfTreesRadius(trees []*Tree) int {
+	return graph.ProductOfTrees(trees).Radius()
+}
+
+// ConsensusResult reports a FloodMin consensus run.
+type ConsensusResult = consensus.Result
+
+// FloodMin runs flooding consensus on top of the broadcast engine: every
+// process decides min(proposals) once it has heard from everyone.
+// Termination equals gossip completion, so adaptive adversaries can stall
+// it forever (use WithMaxRounds); agreement and validity always hold.
+func FloodMin(proposals []int, adv Adversary, opts ...Option) (ConsensusResult, error) {
+	return consensus.FloodMin(proposals, adv, opts...)
+}
+
+// NonsplitAdversary chooses a nonsplit round graph each round — the §5
+// extension setting (Függer–Nowak–Winkler's O(log log n) regime).
+type NonsplitAdversary = nonsplit.Adversary
+
+// NonsplitBroadcastTime runs the broadcast game restricted to nonsplit
+// round graphs. maxRounds ≤ 0 selects a budget a few times the
+// O(log log n) bound.
+func NonsplitBroadcastTime(n int, adv NonsplitAdversary, maxRounds int) (int, error) {
+	return nonsplit.Time(n, adv, maxRounds)
+}
+
+// RandomCoverAdversary plays nonsplit graphs that cover each vertex pair
+// with a random witness — the non-degenerate random family of the
+// nonsplit game.
+func RandomCoverAdversary(r *Rand) NonsplitAdversary { return nonsplit.RandomCover{Src: r} }
+
+// LazyCoverAdversary is the adaptive stalling heuristic of the nonsplit
+// game.
+func LazyCoverAdversary() NonsplitAdversary { return nonsplit.LazyCover{} }

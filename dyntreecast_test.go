@@ -1,0 +1,297 @@
+package dyntreecast_test
+
+import (
+	"errors"
+	"testing"
+
+	"dyntreecast"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	rounds, err := dyntreecast.BroadcastTime(16,
+		dyntreecast.RandomAdversary(dyntreecast.NewRand(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dyntreecast.CheckSandwich(16, rounds); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticPathViaPublicAPI(t *testing.T) {
+	for _, n := range []int{2, 9, 40} {
+		rounds, err := dyntreecast.BroadcastTime(n,
+			dyntreecast.StaticAdversary(dyntreecast.IdentityPathTree(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != n-1 {
+			t.Errorf("n=%d: t* = %d, want %d", n, rounds, n-1)
+		}
+	}
+}
+
+func TestStarCompletesInOneRound(t *testing.T) {
+	star, err := dyntreecast.StarTree(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := dyntreecast.BroadcastTime(9, dyntreecast.StaticAdversary(star))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 {
+		t.Errorf("star t* = %d, want 1", rounds)
+	}
+}
+
+func TestTreeConstructorsValidate(t *testing.T) {
+	if _, err := dyntreecast.NewTree([]int{1, 0}); !errors.Is(err, dyntreecast.ErrInvalidTree) {
+		t.Errorf("rootless tree: err = %v", err)
+	}
+	if _, err := dyntreecast.PathTree([]int{0, 0}); !errors.Is(err, dyntreecast.ErrInvalidTree) {
+		t.Errorf("non-permutation path: err = %v", err)
+	}
+	if _, err := dyntreecast.StarTree(3, 9); !errors.Is(err, dyntreecast.ErrInvalidTree) {
+		t.Errorf("bad star root: err = %v", err)
+	}
+}
+
+func TestScheduleAdversary(t *testing.T) {
+	n := 5
+	sched := []*dyntreecast.Tree{
+		dyntreecast.IdentityPathTree(n),
+		dyntreecast.IdentityPathTree(n),
+	}
+	rounds, err := dyntreecast.BroadcastTime(n, dyntreecast.ScheduleAdversary(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != n-1 {
+		t.Errorf("t* = %d, want %d", rounds, n-1)
+	}
+}
+
+func TestRunGoalAndOptions(t *testing.T) {
+	res, err := dyntreecast.Run(4,
+		dyntreecast.StaticAdversary(dyntreecast.IdentityPathTree(4)),
+		dyntreecast.Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Rounds != 3 {
+		t.Errorf("Result = %+v", res)
+	}
+
+	var observed int
+	_, err = dyntreecast.Run(4,
+		dyntreecast.StaticAdversary(dyntreecast.IdentityPathTree(4)),
+		dyntreecast.Broadcast,
+		dyntreecast.WithObserver(func(round int, tr *dyntreecast.Tree, e *dyntreecast.Engine) {
+			observed++
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != 3 {
+		t.Errorf("observer fired %d times, want 3", observed)
+	}
+
+	_, err = dyntreecast.Run(4,
+		dyntreecast.StaticAdversary(dyntreecast.IdentityPathTree(4)),
+		dyntreecast.Gossip,
+		dyntreecast.WithMaxRounds(10))
+	if !errors.Is(err, dyntreecast.ErrMaxRounds) {
+		t.Errorf("gossip under static path: err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestRestrictedAdversaries(t *testing.T) {
+	r := dyntreecast.NewRand(3)
+	rounds, err := dyntreecast.BroadcastTime(12, dyntreecast.KLeavesAdversary(3, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dyntreecast.CheckSandwich(12, rounds); err != nil {
+		t.Error(err)
+	}
+	rounds, err = dyntreecast.BroadcastTime(12, dyntreecast.KInnerAdversary(4, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dyntreecast.CheckSandwich(12, rounds); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeuristicAdversaries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		adv  dyntreecast.Adversary
+	}{
+		{"ascending", dyntreecast.AscendingPathAdversary()},
+		{"block-leader", dyntreecast.BlockLeaderAdversary()},
+		{"min-gain", dyntreecast.MinGainAdversary()},
+	} {
+		rounds, err := dyntreecast.BroadcastTime(10, tc.adv)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := dyntreecast.CheckSandwich(10, rounds); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSearchScheduleCertifiesItsValue(t *testing.T) {
+	adv, rounds := dyntreecast.SearchSchedule(6, 8, 1)
+	got, err := dyntreecast.BroadcastTime(6, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rounds {
+		t.Errorf("schedule replays to %d rounds, search claimed %d", got, rounds)
+	}
+}
+
+func TestExactSolverPublicAPI(t *testing.T) {
+	s, err := dyntreecast.NewExactSolver(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Value(); v != 4 {
+		t.Errorf("t*(T4) = %d, want 4", v)
+	}
+	rounds, err := dyntreecast.BroadcastTime(4, dyntreecast.OptimalAdversary(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 4 {
+		t.Errorf("optimal adversary achieved %d, want 4", rounds)
+	}
+	if _, err := dyntreecast.NewExactSolver(7); err == nil {
+		t.Error("NewExactSolver(7) accepted")
+	}
+}
+
+func TestBoundFunctions(t *testing.T) {
+	if got := dyntreecast.LowerBound(10); got != 13 {
+		t.Errorf("LowerBound(10) = %d", got)
+	}
+	if got := dyntreecast.UpperBound(10); got != 24 {
+		t.Errorf("UpperBound(10) = %d", got)
+	}
+	if got := dyntreecast.TrivialBound(10); got != 100 {
+		t.Errorf("TrivialBound(10) = %d", got)
+	}
+	if dyntreecast.NLogNBound(16) != 64 || dyntreecast.NLogLogNBound(16) != 64 {
+		t.Error("log bound curves wrong at n=16")
+	}
+	if err := dyntreecast.CheckSandwich(10, 25); err == nil {
+		t.Error("CheckSandwich accepted a bound violation")
+	}
+}
+
+func TestManualEngineStepping(t *testing.T) {
+	e := dyntreecast.NewEngine(4)
+	e.Step(dyntreecast.IdentityPathTree(4))
+	if e.Round() != 1 {
+		t.Errorf("Round = %d", e.Round())
+	}
+	if e.BroadcastDone() {
+		t.Error("broadcast done after one path round on n=4")
+	}
+	star, _ := dyntreecast.StarTree(4, 0)
+	e.Step(star)
+	if !e.BroadcastDone() {
+		t.Error("broadcast not done after star round")
+	}
+}
+
+func TestFloodMinPublicAPI(t *testing.T) {
+	res, err := dyntreecast.FloodMin([]int{9, 2, 5},
+		dyntreecast.RandomAdversary(dyntreecast.NewRand(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.Decision != 2 {
+		t.Errorf("FloodMin result: %+v", res)
+	}
+	_, err = dyntreecast.FloodMin([]int{9, 2, 5}, dyntreecast.StallerAdversary(),
+		dyntreecast.WithMaxRounds(50))
+	if !errors.Is(err, dyntreecast.ErrMaxRounds) {
+		t.Errorf("staller FloodMin err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestNonsplitGamePublicAPI(t *testing.T) {
+	r := dyntreecast.NewRand(6)
+	rounds, err := dyntreecast.NonsplitBroadcastTime(32, dyntreecast.RandomCoverAdversary(r), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nonsplit game completes in far fewer than linear rounds.
+	if rounds < 1 || rounds > 10 {
+		t.Errorf("nonsplit t* = %d, expected a handful of rounds", rounds)
+	}
+	lazy, err := dyntreecast.NonsplitBroadcastTime(32, dyntreecast.LazyCoverAdversary(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy < rounds {
+		t.Errorf("lazy cover (%d) below random cover (%d)", lazy, rounds)
+	}
+}
+
+func TestGossipPublicAPI(t *testing.T) {
+	b, g, err := dyntreecast.BroadcastAndGossipTimes(8,
+		dyntreecast.RandomAdversary(dyntreecast.NewRand(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 1 || g < b {
+		t.Errorf("broadcast %d, gossip %d", b, g)
+	}
+	if _, err := dyntreecast.GossipTime(4, dyntreecast.StallerAdversary(),
+		dyntreecast.WithMaxRounds(20)); !errors.Is(err, dyntreecast.ErrMaxRounds) {
+		t.Errorf("staller gossip err = %v", err)
+	}
+}
+
+func TestNonsplitProductPublicAPI(t *testing.T) {
+	r := dyntreecast.NewRand(9)
+	n := 7
+	trees := make([]*dyntreecast.Tree, n-1)
+	for i := range trees {
+		trees[i] = dyntreecast.RandomTree(n, r)
+	}
+	if !dyntreecast.ProductOfTreesIsNonsplit(trees) {
+		t.Error("product of n-1 trees not nonsplit")
+	}
+	if rad := dyntreecast.ProductOfTreesRadius(trees); rad < 0 {
+		t.Errorf("radius = %d", rad)
+	}
+	if dyntreecast.ProductOfTreesIsNonsplit(trees[:1]) {
+		t.Error("a single random tree on 7 vertices should rarely be nonsplit (seed-pinned)")
+	}
+}
+
+func TestDeepSearchSchedulePublicAPI(t *testing.T) {
+	adv, rounds, err := dyntreecast.DeepSearchSchedule(4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 4 {
+		t.Errorf("certified %d rounds at n=4, want the exact value 4", rounds)
+	}
+	got, err := dyntreecast.BroadcastTime(4, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rounds {
+		t.Errorf("replay %d != certified %d", got, rounds)
+	}
+	if _, _, err := dyntreecast.DeepSearchSchedule(20, 100, 4); err == nil {
+		t.Error("n=20 accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package dyntreecast_test
+
+import (
+	"fmt"
+
+	"dyntreecast"
+)
+
+// The static path of §2: broadcast takes exactly n−1 rounds.
+func ExampleBroadcastTime() {
+	const n = 8
+	rounds, err := dyntreecast.BroadcastTime(n,
+		dyntreecast.StaticAdversary(dyntreecast.IdentityPathTree(n)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rounds)
+	// Output: 7
+}
+
+// Theorem 3.1's sandwich at n = 100.
+func ExampleUpperBound() {
+	fmt.Println(dyntreecast.LowerBound(100), dyntreecast.UpperBound(100))
+	// Output: 148 241
+}
+
+// Exact worst-case broadcast time for five processes, by solving the full
+// adversary game: it equals the lower bound ⌈(3·5−1)/2⌉−2 = 5.
+func ExampleNewExactSolver() {
+	s, err := dyntreecast.NewExactSolver(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Value())
+	// Output: 5
+}
+
+// Driving the engine manually: a star completes broadcast in one round.
+func ExampleEngine() {
+	e := dyntreecast.NewEngine(6)
+	star, _ := dyntreecast.StarTree(6, 0)
+	e.Step(star)
+	fmt.Println(e.BroadcastDone(), e.Broadcasters().Slice())
+	// Output: true [0]
+}
+
+// FloodMin consensus decides the global minimum once gossip completes.
+func ExampleFloodMin() {
+	res, err := dyntreecast.FloodMin([]int{7, 3, 9, 5},
+		dyntreecast.RandomAdversary(dyntreecast.NewRand(1)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Decision)
+	// Output: 3
+}

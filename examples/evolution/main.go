@@ -1,0 +1,56 @@
+// Evolution: watch the adjacency matrix evolve — the paper's §3 analytic
+// perspective ("a detailed analysis of the evolution of the adjacency
+// matrix of the network over time").
+//
+// We run the strongest deterministic stalling heuristic and print, per
+// round, the quantities the proof tracks: total edges, the forced ≥1
+// per-round growth (§2), and the row/column extremes whose race decides
+// the broadcast time. We also contrast with the nonsplit-restricted game,
+// where the same matrix completes in a handful of rounds.
+//
+// Run with:
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyntreecast"
+)
+
+func main() {
+	const n = 12
+	fmt.Printf("matrix evolution under the ascending-path adversary, n = %d\n\n", n)
+	fmt.Println("round  edges  +edges  maxrow  done")
+
+	prevEdges := n // identity matrix
+	rounds, err := dyntreecast.BroadcastTime(n, dyntreecast.AscendingPathAdversary(),
+		dyntreecast.WithObserver(func(round int, t *dyntreecast.Tree, e *dyntreecast.Engine) {
+			s := e.Stats()
+			fmt.Printf("%5d  %5d  %6d  %6d  %v\n",
+				round, s.Edges, s.Edges-prevEdges, s.MaxRow, e.BroadcastDone())
+			prevEdges = s.Edges
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbroadcast at t* = %d (n−1 = %d, paper upper bound = %d)\n",
+		rounds, n-1, dyntreecast.UpperBound(n))
+	fmt.Println("note the +edges column: at least one new product edge per round,")
+	fmt.Println("the §2 lemma that gives the trivial n² bound — the paper's analysis")
+	fmt.Println("sharpens exactly this growth accounting to (1+√2)n.")
+
+	fmt.Printf("\nsame game restricted to nonsplit rounds (the §5 extension):\n")
+	for _, m := range []int{12, 64, 256} {
+		r, err := dyntreecast.NonsplitBroadcastTime(m, dyntreecast.LazyCoverAdversary(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%3d: t* = %d rounds (vs linear ~%d for rooted trees)\n",
+			m, r, dyntreecast.LowerBound(m))
+	}
+	fmt.Println("\nnonsplit rounds collapse broadcast to O(log log n) — the regime the")
+	fmt.Println("previous best O(n log log n) bound passed through ✓")
+}

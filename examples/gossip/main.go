@@ -1,0 +1,57 @@
+// Gossip: the all-to-all variant the paper's future-work section points
+// at, and why broadcast — not gossip — is the right worst-case object.
+//
+// Two observations:
+//
+//  1. Under random adversaries, gossip completes within a small factor of
+//     broadcast.
+//  2. Under an ADAPTIVE adversary, gossip time is unbounded: a star whose
+//     root never changes broadcasts in one round, but the root itself
+//     never hears anyone, so gossip never completes.
+//
+// Run with:
+//
+//	go run ./examples/gossip
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"dyntreecast"
+)
+
+func main() {
+	rand := dyntreecast.NewRand(11)
+
+	fmt.Println("gossip vs broadcast under random trees:")
+	fmt.Println("    n   broadcast   gossip   ratio")
+	for _, n := range []int{8, 16, 32, 64} {
+		b, g, err := dyntreecast.BroadcastAndGossipTimes(n, dyntreecast.RandomAdversary(rand))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d   %9d   %6d   %.2f\n", n, b, g, float64(g)/float64(b))
+	}
+
+	fmt.Println("\nadversarial gossip is unbounded (the staller):")
+	const n = 10
+	b, err := dyntreecast.BroadcastTime(n, dyntreecast.StallerAdversary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  staller broadcast on n=%d: %d round (the star root reaches everyone)\n", n, b)
+
+	_, err = dyntreecast.GossipTime(n, dyntreecast.StallerAdversary(),
+		dyntreecast.WithMaxRounds(1000))
+	switch {
+	case errors.Is(err, dyntreecast.ErrMaxRounds):
+		fmt.Println("  staller gossip on n=10: still incomplete after 1000 rounds —")
+		fmt.Println("  the star root never hears anyone, so gossip never finishes ✓")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		log.Fatal("unexpected: staller gossip completed")
+	}
+}

@@ -1,0 +1,167 @@
+package adversary
+
+import (
+	"testing"
+
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// bruteMinCost finds the minimum arborescence cost rooted at root by
+// enumerating all rooted labeled trees on n vertices.
+func bruteMinCost(n, root int, weight [][]int) int {
+	best := infWeight
+	tree.Enumerate(n, func(tr *tree.Tree) bool {
+		if tr.Root() != root {
+			return true
+		}
+		if c := ArborescenceCost(tr.Parents(), weight); c < best {
+			best = c
+		}
+		return true
+	})
+	return best
+}
+
+func randomWeights(n int, src *rng.Source) [][]int {
+	w := make([][]int, n)
+	for u := range w {
+		w[u] = make([]int, n)
+		for v := range w[u] {
+			if u != v {
+				w[u][v] = src.Intn(10)
+			}
+		}
+	}
+	return w
+}
+
+func TestMinArborescenceMatchesBruteForce(t *testing.T) {
+	src := rng.New(1)
+	for _, n := range []int{2, 3, 4, 5} {
+		for trial := 0; trial < 20; trial++ {
+			w := randomWeights(n, src)
+			for root := 0; root < n; root++ {
+				parent := MinArborescence(n, root, w)
+				tr, err := tree.New(parent)
+				if err != nil {
+					t.Fatalf("n=%d root=%d: invalid arborescence %v: %v", n, root, parent, err)
+				}
+				if tr.Root() != root {
+					t.Fatalf("n=%d: arborescence rooted at %d, want %d", n, tr.Root(), root)
+				}
+				got := ArborescenceCost(parent, w)
+				want := bruteMinCost(n, root, w)
+				if got != want {
+					t.Fatalf("n=%d root=%d trial=%d: cost %d, brute force %d (weights %v)",
+						n, root, trial, got, want, w)
+				}
+			}
+		}
+	}
+}
+
+func TestMinArborescenceForcesCycleContraction(t *testing.T) {
+	// Craft weights where greedy min in-edges form a 2-cycle {1,2} that
+	// must be broken: cheap edges 1→2 and 2→1, expensive entry from root.
+	w := [][]int{
+		{0, 5, 6},
+		{9, 0, 1},
+		{9, 1, 0},
+	}
+	parent := MinArborescence(3, 0, w)
+	got := ArborescenceCost(parent, w)
+	want := bruteMinCost(3, 0, w)
+	if got != want {
+		t.Fatalf("cost %d, want %d (parent %v)", got, want, parent)
+	}
+}
+
+func TestMinArborescenceSingleVertex(t *testing.T) {
+	parent := MinArborescence(1, 0, [][]int{{0}})
+	if len(parent) != 1 || parent[0] != 0 {
+		t.Errorf("parent = %v, want [0]", parent)
+	}
+}
+
+func TestMinArborescenceNestedCycles(t *testing.T) {
+	// Larger adversarial instance with several cheap cycles; verify
+	// against brute force at n=5 across many seeds.
+	src := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		n := 5
+		w := make([][]int, n)
+		for u := range w {
+			w[u] = make([]int, n)
+			for v := range w[u] {
+				if u != v {
+					// Mostly 0/1 weights to generate lots of ties and
+					// cycles.
+					w[u][v] = src.Intn(2)
+				}
+			}
+		}
+		parent := MinArborescence(n, 0, w)
+		if _, err := tree.New(parent); err != nil {
+			t.Fatalf("trial %d: invalid result %v: %v", trial, parent, err)
+		}
+		if got, want := ArborescenceCost(parent, w), bruteMinCost(n, 0, w); got != want {
+			t.Fatalf("trial %d: cost %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestMinGainWithinBounds(t *testing.T) {
+	for _, n := range []int{2, 6, 16, 40} {
+		got, err := core.BroadcastTime(n, MinGain{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := bounds.CheckSandwich(n, got); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMinGainAddsFewEdges(t *testing.T) {
+	// MinGain should keep per-round knowledge growth near the provable
+	// minimum of one new edge per round.
+	const n = 12
+	e := core.NewEngine(n)
+	adv := MinGain{}
+	prevEdges := n // identity
+	for r := 0; r < 3*n && !e.BroadcastDone(); r++ {
+		e.Step(adv.Next(e))
+		edges := e.Matrix().EdgeCount()
+		if edges-prevEdges < 1 && !e.BroadcastDone() {
+			t.Fatalf("round %d: no new edge (%d -> %d)", r+1, prevEdges, edges)
+		}
+		prevEdges = edges
+	}
+	if !e.BroadcastDone() {
+		t.Fatalf("MinGain run did not finish in %d rounds", 3*n)
+	}
+}
+
+func TestMinGainN1(t *testing.T) {
+	got, err := core.BroadcastTime(1, MinGain{})
+	if err != nil || got != 0 {
+		t.Errorf("n=1: t* = %d err = %v", got, err)
+	}
+}
+
+func BenchmarkMinArborescence(b *testing.B) {
+	src := rng.New(3)
+	for _, n := range []int{16, 64} {
+		name := map[int]string{16: "n16", 64: "n64"}[n]
+		b.Run(name, func(b *testing.B) {
+			w := randomWeights(n, src)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = MinArborescence(n, 0, w)
+			}
+		})
+	}
+}

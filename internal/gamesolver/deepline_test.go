@@ -1,0 +1,71 @@
+package gamesolver
+
+import (
+	"testing"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+)
+
+func TestDeepestLineMatchesExactSmallN(t *testing.T) {
+	// With a modest budget the anytime search reaches the exact game
+	// value for every solvable n.
+	want := map[int]int{2: 1, 3: 2, 4: 4, 5: 5}
+	for n := 2; n <= 5; n++ {
+		line, depth, err := DeepestLine(n, 4000, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if depth != want[n] {
+			t.Errorf("n=%d: depth = %d, want %d", n, depth, want[n])
+		}
+		// The line must replay to at least the claimed depth (repeating
+		// the last tree can only extend a surviving prefix).
+		replayed, err := core.BroadcastTime(n, adversary.Replay{Trees: line})
+		if err != nil {
+			t.Fatalf("n=%d replay: %v", n, err)
+		}
+		if replayed < depth {
+			t.Errorf("n=%d: replayed %d < claimed %d", n, replayed, depth)
+		}
+	}
+}
+
+func TestDeepestLineCertifiesLowerBoundN6(t *testing.T) {
+	// Beyond the exact solver's reach: the search certifies
+	// t*(T6) >= 7 = ceil((3*6-1)/2) - 2, the ZSS formula value.
+	if testing.Short() {
+		t.Skip("n=6 search takes a few hundred ms")
+	}
+	line, depth, err := DeepestLine(6, 6000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bounds.Lower(6); depth < want {
+		t.Errorf("depth = %d, want >= %d", depth, want)
+	}
+	replayed, err := core.BroadcastTime(6, adversary.Replay{Trees: line})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed < depth {
+		t.Errorf("replayed %d < claimed %d", replayed, depth)
+	}
+	if err := bounds.CheckSandwich(6, replayed); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepestLineValidation(t *testing.T) {
+	if _, _, err := DeepestLine(0, 100, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := DeepestLine(9, 100, 4); err == nil {
+		t.Error("n=9 accepted (beyond uint64 packing)")
+	}
+	// Defaults kick in for non-positive budget/width.
+	if _, depth, err := DeepestLine(3, 0, 0); err != nil || depth != 2 {
+		t.Errorf("defaults: depth=%d err=%v", depth, err)
+	}
+}

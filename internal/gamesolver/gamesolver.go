@@ -1,0 +1,324 @@
+// Package gamesolver computes the exact broadcast time t*(Tn) for small n
+// by solving the full adversary game.
+//
+// The game: states are the reflexive boolean matrices G(t); the adversary
+// moves by choosing any rooted tree T on [n], sending state M to M ∘ T;
+// the game ends when some row of M is full, and the adversary maximizes
+// the number of moves. Because round graphs carry all self-loops, states
+// grow monotonically, so the game is finite (§2: at most n² moves) and the
+// value function is well-defined:
+//
+//	f(M) = 0                          if M has a full row
+//	f(M) = 1 + max_T f(M ∘ T)         otherwise
+//
+// t*(Tn) = f(I). This is the ground truth the heuristic adversaries in
+// package adversary are measured against (experiment E7), and the solver
+// also exposes the optimal move for each state, yielding a perfect-play
+// adversary for small n.
+//
+// Implementation: states are packed into a single uint64 (column-major,
+// bit y·n+x = "y has heard x"), so applying a tree is a handful of shift
+// and mask operations and the memo table is keyed by integers. States are
+// deduplicated up to process relabeling: t* is invariant under permuting
+// [n] (the tree set is closed under relabeling), so each state is reduced
+// to the minimal mask over all n! bit permutations. A raw-state cache in
+// front of the canonical table avoids recanonicalizing hot states.
+package gamesolver
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/tree"
+)
+
+// MaxN is the largest n the solver accepts by default. The tree set grows
+// as n^(n−1) and the state space super-exponentially; n = 6 (7776 trees)
+// is already hours of work, so it needs an explicit override. The packed
+// representation caps any override at n = 8 (n² ≤ 64 bits).
+const MaxN = 5
+
+// hardMaxN is the representation limit: n² bits must fit a uint64.
+const hardMaxN = 8
+
+// treePlan is the shift/mask program of one tree: for every non-root
+// vertex y, OR column parent(y) into column y.
+type treePlan []struct{ dst, src uint }
+
+// Solver computes exact game values for one n. It caches states, so
+// reusing one Solver across queries amortizes the search.
+type Solver struct {
+	n              int
+	colMask        uint64
+	trees          []*tree.Tree
+	plans          []treePlan
+	bitPerms       [][]uint8      // per vertex-permutation: old bit -> new bit
+	memo           map[uint64]int // canonical mask -> value
+	rawMemo        map[uint64]int // raw mask -> value (canonicalization cache)
+	canonize       bool
+	nLimitOverride int
+}
+
+// Option configures the solver.
+type Option func(*Solver)
+
+// WithoutCanonicalization disables permutation canonicalization — only
+// useful for the ablation bench that measures its effect.
+func WithoutCanonicalization() Option {
+	return func(s *Solver) { s.canonize = false }
+}
+
+// WithMaxN raises the safety limit (default MaxN). Values above 5 can take
+// a very long time; the representation caps at 8.
+func WithMaxN(m int) Option {
+	return func(s *Solver) { s.nLimitOverride = m }
+}
+
+// New returns a solver for n processes. It errors when n exceeds the
+// safety limit (see MaxN and WithMaxN).
+func New(n int, opts ...Option) (*Solver, error) {
+	s := &Solver{
+		n:       n,
+		memo:    map[uint64]int{},
+		rawMemo: map[uint64]int{},
+
+		canonize: true,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	limit := MaxN
+	if s.nLimitOverride > 0 {
+		limit = s.nLimitOverride
+		if limit > hardMaxN {
+			limit = hardMaxN
+		}
+	}
+	if n < 1 || n > limit {
+		return nil, fmt.Errorf("gamesolver: n = %d out of supported range [1,%d]", n, limit)
+	}
+	s.colMask = (uint64(1) << uint(n)) - 1
+	tree.Enumerate(n, func(t *tree.Tree) bool {
+		s.trees = append(s.trees, t)
+		plan := make(treePlan, 0, n-1)
+		for y, p := range t.Parents() {
+			if y != p {
+				plan = append(plan, struct{ dst, src uint }{uint(y * n), uint(p * n)})
+			}
+		}
+		s.plans = append(s.plans, plan)
+		return true
+	})
+	for _, p := range allPerms(n) {
+		// permuted[x', y'] = m[p[x'], p[y']]: the old bit at
+		// (p[x'], p[y']) lands at new position (x', y').
+		table := make([]uint8, n*n)
+		for xp := 0; xp < n; xp++ {
+			for yp := 0; yp < n; yp++ {
+				oldIdx := p[yp]*n + p[xp]
+				newIdx := yp*n + xp
+				table[oldIdx] = uint8(newIdx)
+			}
+		}
+		s.bitPerms = append(s.bitPerms, table)
+	}
+	return s, nil
+}
+
+// identityMask returns the packed identity state.
+func (s *Solver) identityMask() uint64 {
+	var m uint64
+	for i := 0; i < s.n; i++ {
+		m |= 1 << uint(i*s.n+i)
+	}
+	return m
+}
+
+// apply runs one tree round on a packed state.
+func (s *Solver) apply(m uint64, plan treePlan) uint64 {
+	next := m
+	for _, mv := range plan {
+		next |= ((m >> mv.src) & s.colMask) << mv.dst
+	}
+	return next
+}
+
+// done reports whether some row is full: the AND of all columns is
+// non-empty.
+func (s *Solver) done(m uint64) bool {
+	inter := s.colMask
+	for y := 0; y < s.n; y++ {
+		inter &= m >> uint(y*s.n)
+		if inter&s.colMask == 0 {
+			return false
+		}
+	}
+	return inter&s.colMask != 0
+}
+
+// canonical returns the minimal mask over all vertex relabelings.
+func (s *Solver) canonical(m uint64) uint64 {
+	if !s.canonize {
+		return m
+	}
+	best := ^uint64(0)
+	for _, table := range s.bitPerms {
+		var out uint64
+		w := m
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out |= 1 << table[b]
+			w &= w - 1
+		}
+		if out < best {
+			best = out
+		}
+	}
+	return best
+}
+
+// Value returns t*(Tn): the exact broadcast time under perfect adversary
+// play starting from the identity state.
+func (s *Solver) Value() int { return s.valueOf(s.identityMask()) }
+
+// ValueOf returns the remaining game value of an arbitrary reflexive
+// state given as a matrix.
+func (s *Solver) ValueOf(m *boolmat.Matrix) int {
+	if m.N() != s.n {
+		panic(fmt.Sprintf("gamesolver: state dimension %d, solver n %d", m.N(), s.n))
+	}
+	return s.valueOf(s.pack(m))
+}
+
+// StatesExplored returns the number of distinct canonical states memoized.
+func (s *Solver) StatesExplored() int { return len(s.memo) }
+
+func (s *Solver) valueOf(m uint64) int {
+	if s.done(m) {
+		return 0
+	}
+	if v, ok := s.rawMemo[m]; ok {
+		return v
+	}
+	key := s.canonical(m)
+	if v, ok := s.memo[key]; ok {
+		s.rawMemo[m] = v
+		return v
+	}
+	best := 0
+	for _, plan := range s.plans {
+		if v := 1 + s.valueOf(s.apply(m, plan)); v > best {
+			best = v
+		}
+	}
+	s.memo[key] = best
+	s.rawMemo[m] = best
+	return best
+}
+
+// BestTree returns an optimal adversary move from state m (a tree
+// maximizing the remaining game value), or nil if the game is over.
+func (s *Solver) BestTree(m *boolmat.Matrix) *tree.Tree {
+	if m.N() != s.n {
+		panic(fmt.Sprintf("gamesolver: state dimension %d, solver n %d", m.N(), s.n))
+	}
+	packed := s.pack(m)
+	if s.done(packed) {
+		return nil
+	}
+	// A cached move for the canonical representative would be a move in a
+	// *relabeled* game, so recompute per raw state; this is cheap relative
+	// to the value search, which is fully memoized by now.
+	bestV, bestI := -1, -1
+	for i, plan := range s.plans {
+		if v := s.valueOf(s.apply(packed, plan)); v > bestV {
+			bestV, bestI = v, i
+		}
+	}
+	return s.trees[bestI]
+}
+
+// pack converts a matrix state to the packed representation.
+func (s *Solver) pack(m *boolmat.Matrix) uint64 {
+	var out uint64
+	for y := 0; y < s.n; y++ {
+		for x := 0; x < s.n; x++ {
+			if m.Test(x, y) {
+				out |= 1 << uint(y*s.n+x)
+			}
+		}
+	}
+	return out
+}
+
+// Unpack converts a packed state back to a matrix (exported for tests and
+// trace tooling).
+func (s *Solver) Unpack(mask uint64) *boolmat.Matrix {
+	m := boolmat.Zero(s.n)
+	for y := 0; y < s.n; y++ {
+		for x := 0; x < s.n; x++ {
+			if mask&(1<<uint(y*s.n+x)) != 0 {
+				m.Set(x, y)
+			}
+		}
+	}
+	return m
+}
+
+// allPerms returns all permutations of [0,n) (Heap's algorithm).
+func allPerms(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			p := make([]int, n)
+			copy(p, cur)
+			out = append(out, p)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				cur[i], cur[k-1] = cur[k-1], cur[i]
+			} else {
+				cur[0], cur[k-1] = cur[k-1], cur[0]
+			}
+		}
+	}
+	rec(n)
+	return out
+}
+
+// Optimal is a perfect-play adversary for small n, backed by a Solver.
+// It plugs into core.Run like any other adversary; each move is the
+// argmax of the exact game value.
+type Optimal struct{ S *Solver }
+
+// Next implements core.Adversary.
+func (o Optimal) Next(v core.View) *tree.Tree {
+	n := v.N()
+	if n != o.S.n {
+		return nil
+	}
+	m := boolmat.Zero(n)
+	for y := 0; y < n; y++ {
+		v.Heard(y).ForEach(func(x int) bool {
+			m.Set(x, y)
+			return true
+		})
+	}
+	t := o.S.BestTree(m)
+	if t == nil {
+		// Game over (broadcast done); any tree is acceptable if asked.
+		return tree.IdentityPath(n)
+	}
+	return t
+}
+
+var _ core.Adversary = Optimal{}

@@ -1,0 +1,251 @@
+package gamesolver
+
+import (
+	"testing"
+
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+func TestExactValuesMatchLowerBound(t *testing.T) {
+	// Headline result of experiment E7: for n = 1..5 the exact game value
+	// t*(Tn) equals the Zeiner–Schwarz–Schmid lower bound ⌈(3n−1)/2⌉−2
+	// exactly — the lower bound is tight for small n.
+	want := []int{0, 0, 1, 2, 4, 5} // index = n
+	maxN := 5
+	if testing.Short() {
+		maxN = 4
+	}
+	for n := 1; n <= maxN; n++ {
+		s, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		got := s.Value()
+		if got != want[n] {
+			t.Errorf("t*(T%d) = %d, want %d", n, got, want[n])
+		}
+		if got != bounds.Lower(n) {
+			t.Errorf("t*(T%d) = %d != lower bound %d", n, got, bounds.Lower(n))
+		}
+		if got > bounds.UpperLinear(n) {
+			t.Errorf("t*(T%d) = %d exceeds upper bound %d: Theorem 3.1 falsified",
+				n, got, bounds.UpperLinear(n))
+		}
+	}
+}
+
+func TestNewRejectsLargeN(t *testing.T) {
+	if _, err := New(6); err == nil {
+		t.Error("New(6) accepted without override")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	if _, err := New(6, WithMaxN(6)); err != nil {
+		t.Errorf("New(6, WithMaxN(6)) rejected: %v", err)
+	}
+	if _, err := New(9, WithMaxN(20)); err == nil {
+		t.Error("New(9) accepted beyond the uint64 representation limit")
+	}
+}
+
+func TestCanonicalizationDoesNotChangeValue(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		a, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(n, WithoutCanonicalization())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if av, bv := a.Value(), b.Value(); av != bv {
+			t.Errorf("n=%d: canonical %d != plain %d", n, av, bv)
+		}
+		if a.StatesExplored() > b.StatesExplored() {
+			t.Errorf("n=%d: canonicalization increased states (%d > %d)",
+				n, a.StatesExplored(), b.StatesExplored())
+		}
+	}
+}
+
+func TestValueOfMidGameStates(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A state with a full row has value 0.
+	m := boolmat.Identity(4)
+	for y := 0; y < 4; y++ {
+		m.Set(0, y)
+	}
+	if got := s.ValueOf(m); got != 0 {
+		t.Errorf("completed state has value %d", got)
+	}
+	// Value decreases (weakly) as knowledge grows: check against a
+	// one-round successor of the identity.
+	id := boolmat.Identity(4)
+	vid := s.ValueOf(id)
+	next := id.Clone()
+	next.ApplyTree(tree.IdentityPath(4))
+	if vn := s.ValueOf(next); vn >= vid {
+		t.Errorf("successor value %d not below initial %d", vn, vid)
+	}
+}
+
+func TestValueOfDimensionMismatchPanics(t *testing.T) {
+	s, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.ValueOf(boolmat.Identity(4))
+}
+
+func TestBestTreeIsOptimal(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := boolmat.Identity(4)
+	v := s.ValueOf(id)
+	bt := s.BestTree(id)
+	if bt == nil {
+		t.Fatal("BestTree returned nil on a live state")
+	}
+	next := id.Clone()
+	next.ApplyTree(bt)
+	if got := s.ValueOf(next); got != v-1 {
+		t.Errorf("best move leads to value %d, want %d", got, v-1)
+	}
+}
+
+func TestBestTreeNilWhenDone(t *testing.T) {
+	s, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := boolmat.Identity(3)
+	for y := 0; y < 3; y++ {
+		m.Set(1, y)
+	}
+	if s.BestTree(m) != nil {
+		t.Error("BestTree on a finished game not nil")
+	}
+}
+
+func TestOptimalAdversaryAchievesExactValue(t *testing.T) {
+	// Driving core.Run with the perfect-play adversary must realize
+	// exactly t*(Tn).
+	for n := 2; n <= 4; n++ {
+		s, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.BroadcastTime(n, Optimal{S: s})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if want := s.Value(); got != want {
+			t.Errorf("n=%d: optimal adversary realized %d rounds, game value is %d",
+				n, got, want)
+		}
+	}
+}
+
+func TestOptimalAdversaryWrongN(t *testing.T) {
+	s, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(4, Optimal{S: s}, core.Broadcast); err == nil {
+		t.Error("Optimal driven at wrong n did not fail the run")
+	}
+}
+
+func TestNoAdversaryBeatsTheSolver(t *testing.T) {
+	// Game-theoretic sanity: every concrete adversary is at most optimal.
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := s.Value()
+	src := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		rounds, err := core.BroadcastTime(4, randomAdv{src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds > val {
+			t.Fatalf("random adversary achieved %d > game value %d", rounds, val)
+		}
+	}
+}
+
+type randomAdv struct{ src *rng.Source }
+
+func (a randomAdv) Next(v core.View) *tree.Tree { return tree.Random(v.N(), a.src) }
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	m := boolmat.Identity(4)
+	for i := 0; i < 6; i++ {
+		m.Set(src.Intn(4), src.Intn(4))
+	}
+	if !s.Unpack(s.pack(m)).Equal(m) {
+		t.Error("pack/Unpack round trip failed")
+	}
+}
+
+func TestCanonicalInvariantUnderRelabeling(t *testing.T) {
+	// canonical(m) must be identical for every relabeling of m.
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	m := boolmat.Identity(4)
+	for i := 0; i < 5; i++ {
+		m.Set(src.Intn(4), src.Intn(4))
+	}
+	want := s.canonical(s.pack(m))
+	for _, p := range allPerms(4) {
+		pm := m.Permute(p)
+		if got := s.canonical(s.pack(pm)); got != want {
+			t.Fatalf("canonical differs under relabeling %v", p)
+		}
+	}
+}
+
+func BenchmarkSolverN4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _ := New(4)
+		_ = s.Value()
+	}
+}
+
+func BenchmarkSolverN5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _ := New(5)
+		_ = s.Value()
+	}
+}
+
+func BenchmarkSolverN5NoCanon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _ := New(5, WithoutCanonicalization())
+		_ = s.Value()
+	}
+}

@@ -1,0 +1,271 @@
+// Package graph implements general directed graphs on [n], used for the
+// structural facts the paper's related-work section builds on.
+//
+// The previous best upper bound for dynamic-tree broadcast (Függer–Nowak–
+// Winkler 2020, combined with Charron-Bost–Függer–Nowak 2015) goes through
+// nonsplit graphs: directed graphs in which every pair of vertices has a
+// common in-neighbor. The key simulation lemma states that the product of
+// any n−1 rooted trees (with self-loops) is nonsplit. This package provides
+// the digraph type, products, the nonsplit predicate, rootedness, and
+// distance/eccentricity queries so the repository can check those facts
+// empirically (experiment E6).
+//
+// A Digraph stores, for every vertex, its in-neighbor set as a bitset; the
+// product operation is then a plain union of in-sets.
+package graph
+
+import (
+	"fmt"
+
+	"dyntreecast/internal/bitset"
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// Digraph is a directed graph on vertices 0…n−1, stored column-wise:
+// in(y) is the set of x with an edge x → y.
+type Digraph struct {
+	n  int
+	in []*bitset.Set
+}
+
+// New returns an edgeless digraph on n vertices.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative size %d", n))
+	}
+	in := make([]*bitset.Set, n)
+	for i := range in {
+		in[i] = bitset.New(n)
+	}
+	return &Digraph{n: n, in: in}
+}
+
+// FromTree returns the round graph of t: parent → child edges plus a
+// self-loop on every vertex.
+func FromTree(t *tree.Tree) *Digraph {
+	g := New(t.N())
+	for v, p := range t.Parents() {
+		g.in[v].Set(v)
+		if v != p {
+			g.in[v].Set(p)
+		}
+	}
+	return g
+}
+
+// FromMatrix converts an adjacency matrix (row x = out-neighbors of x)
+// into a Digraph.
+func FromMatrix(m *boolmat.Matrix) *Digraph {
+	g := New(m.N())
+	for x := 0; x < m.N(); x++ {
+		m.Row(x).ForEach(func(y int) bool {
+			g.in[y].Set(x)
+			return true
+		})
+	}
+	return g
+}
+
+// Matrix converts the digraph to an adjacency matrix.
+func (g *Digraph) Matrix() *boolmat.Matrix {
+	m := boolmat.Zero(g.n)
+	for y := 0; y < g.n; y++ {
+		g.in[y].ForEach(func(x int) bool {
+			m.Set(x, y)
+			return true
+		})
+	}
+	return m
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// AddEdge inserts the edge x → y.
+func (g *Digraph) AddEdge(x, y int) { g.in[y].Set(x) }
+
+// HasEdge reports whether the edge x → y is present.
+func (g *Digraph) HasEdge(x, y int) bool { return g.in[y].Test(x) }
+
+// InNeighbors returns the live in-neighbor set of y; callers must not
+// mutate it.
+func (g *Digraph) InNeighbors(y int) *bitset.Set { return g.in[y] }
+
+// EdgeCount returns the number of edges (self-loops included).
+func (g *Digraph) EdgeCount() int {
+	c := 0
+	for _, s := range g.in {
+		c += s.Count()
+	}
+	return c
+}
+
+// Product returns g ∘ h per Definition 2.1: (x,y) present iff ∃z with
+// (x,z) ∈ g and (z,y) ∈ h. Column-wise: in_result(y) = ⋃ in_g(z) over
+// z ∈ in_h(y).
+func (g *Digraph) Product(h *Digraph) *Digraph {
+	if g.n != h.n {
+		panic(fmt.Sprintf("graph: size mismatch %d != %d", g.n, h.n))
+	}
+	out := New(g.n)
+	for y := 0; y < g.n; y++ {
+		dst := out.in[y]
+		h.in[y].ForEach(func(z int) bool {
+			dst.Union(g.in[z])
+			return true
+		})
+	}
+	return out
+}
+
+// IsNonsplit reports whether every pair of vertices has a common
+// in-neighbor (Charron-Bost–Schiper). Pairs include (v, v), which requires
+// in(v) to be non-empty.
+func (g *Digraph) IsNonsplit() bool {
+	for u := 0; u < g.n; u++ {
+		if g.in[u].Empty() {
+			return false
+		}
+		for v := u + 1; v < g.n; v++ {
+			if !g.in[u].Intersects(g.in[v]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasSelfLoops reports whether every vertex carries a self-loop.
+func (g *Digraph) HasSelfLoops() bool {
+	for v := 0; v < g.n; v++ {
+		if !g.in[v].Test(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// outAdj materializes out-adjacency lists for BFS.
+func (g *Digraph) outAdj() [][]int {
+	adj := make([][]int, g.n)
+	for y := 0; y < g.n; y++ {
+		g.in[y].ForEach(func(x int) bool {
+			adj[x] = append(adj[x], y)
+			return true
+		})
+	}
+	return adj
+}
+
+// Distances returns BFS hop distances from src along directed edges;
+// unreachable vertices get −1.
+func (g *Digraph) Distances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	adj := g.outAdj()
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum distance from src to any vertex, or −1
+// if some vertex is unreachable from src.
+func (g *Digraph) Eccentricity(src int) int {
+	ecc := 0
+	for _, d := range g.Distances(src) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Radius returns the minimum eccentricity over vertices that reach every
+// vertex, or −1 if no vertex reaches all others. For nonsplit graphs this
+// is the quantity bounded by O(log log n) in Függer–Nowak–Winkler.
+func (g *Digraph) Radius() int {
+	radius := -1
+	for v := 0; v < g.n; v++ {
+		if e := g.Eccentricity(v); e >= 0 && (radius < 0 || e < radius) {
+			radius = e
+		}
+	}
+	return radius
+}
+
+// Roots returns the vertices that reach every vertex, in increasing order.
+func (g *Digraph) Roots() []int {
+	var roots []int
+	for v := 0; v < g.n; v++ {
+		if g.Eccentricity(v) >= 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// IsRooted reports whether some vertex reaches every vertex.
+func (g *Digraph) IsRooted() bool {
+	for v := 0; v < g.n; v++ {
+		if g.Eccentricity(v) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomNonsplit returns a random nonsplit graph on n vertices with
+// self-loops: a random "kernel" vertex k receives an out-edge to every
+// vertex (making k a common in-neighbor of every pair), and every other
+// ordered pair receives an edge independently with probability p. The
+// kernel construction guarantees nonsplitness for any p, including 0.
+func RandomNonsplit(n int, p float64, src *rng.Source) *Digraph {
+	if n <= 0 {
+		panic("graph: RandomNonsplit needs n >= 1")
+	}
+	g := New(n)
+	k := src.Intn(n)
+	for v := 0; v < n; v++ {
+		g.in[v].Set(v)
+		g.in[v].Set(k)
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x != y && src.Float64() < p {
+				g.in[y].Set(x)
+			}
+		}
+	}
+	return g
+}
+
+// ProductOfTrees returns the product of the given round graphs (trees with
+// self-loops), left to right. It panics if the trees disagree on n or the
+// list is empty.
+func ProductOfTrees(trees []*tree.Tree) *Digraph {
+	if len(trees) == 0 {
+		panic("graph: ProductOfTrees of empty list")
+	}
+	g := FromTree(trees[0])
+	for _, t := range trees[1:] {
+		g = g.Product(FromTree(t))
+	}
+	return g
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+func TestFromTree(t *testing.T) {
+	g := FromTree(tree.IdentityPath(3))
+	if !g.HasSelfLoops() {
+		t.Error("round graph missing self-loops")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("tree edges missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected transitive edge")
+	}
+	if got := g.EdgeCount(); got != 5 {
+		t.Errorf("EdgeCount = %d, want 5", got)
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	tr := tree.Random(9, src)
+	g := FromTree(tr)
+	if !FromMatrix(g.Matrix()).Matrix().Equal(g.Matrix()) {
+		t.Error("Digraph <-> Matrix round trip failed")
+	}
+	if !g.Matrix().Equal(boolmat.FromTree(tr)) {
+		t.Error("graph.FromTree disagrees with boolmat.FromTree")
+	}
+}
+
+func TestProductMatchesMatrixProduct(t *testing.T) {
+	src := rng.New(2)
+	for i := 0; i < 20; i++ {
+		a := FromTree(tree.Random(8, src))
+		b := FromTree(tree.Random(8, src))
+		got := a.Product(b).Matrix()
+		want := a.Matrix().Product(b.Matrix())
+		if !got.Equal(want) {
+			t.Fatalf("product mismatch:\n%v\nvs\n%v", got, want)
+		}
+	}
+}
+
+func TestProductSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(3).Product(New(4))
+}
+
+func TestIsNonsplit(t *testing.T) {
+	// A star with self-loops is nonsplit: the root is a common in-neighbor
+	// of every pair.
+	star, _ := tree.Star(5, 0)
+	if !FromTree(star).IsNonsplit() {
+		t.Error("star round graph should be nonsplit")
+	}
+	// A path on >= 4 vertices is not: two deep vertices in different
+	// "generations" lack a common in-neighbor.
+	if FromTree(tree.IdentityPath(4)).IsNonsplit() {
+		t.Error("path round graph should not be nonsplit")
+	}
+	// Graph with an isolated (no in-edge) vertex is not nonsplit.
+	g := New(2)
+	g.AddEdge(0, 0)
+	if g.IsNonsplit() {
+		t.Error("vertex with empty in-set should break nonsplitness")
+	}
+}
+
+func TestProductOfTreesNonsplit(t *testing.T) {
+	// Simulation lemma of Charron-Bost–Függer–Nowak: the product of any
+	// n−1 rooted trees (with self-loops) is nonsplit. Empirical check over
+	// random sequences for several n (experiment E6).
+	src := rng.New(3)
+	for _, n := range []int{2, 3, 5, 8, 12} {
+		for trial := 0; trial < 25; trial++ {
+			trees := make([]*tree.Tree, n-1)
+			for i := range trees {
+				trees[i] = tree.Random(n, src)
+			}
+			if !ProductOfTrees(trees).IsNonsplit() {
+				t.Fatalf("n=%d trial %d: product of %d trees not nonsplit", n, trial, n-1)
+			}
+		}
+	}
+}
+
+func TestProductOfTreesPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ProductOfTrees(nil)
+}
+
+func TestDistances(t *testing.T) {
+	g := FromTree(tree.IdentityPath(4))
+	d := g.Distances(0)
+	for v, want := range []int{0, 1, 2, 3} {
+		if d[v] != want {
+			t.Errorf("dist(0,%d) = %d, want %d", v, d[v], want)
+		}
+	}
+	d = g.Distances(2)
+	if d[0] != -1 || d[1] != -1 {
+		t.Error("upstream vertices should be unreachable")
+	}
+	if d[3] != 1 {
+		t.Errorf("dist(2,3) = %d, want 1", d[3])
+	}
+}
+
+func TestEccentricityRadiusRoots(t *testing.T) {
+	g := FromTree(tree.IdentityPath(4))
+	if got := g.Eccentricity(0); got != 3 {
+		t.Errorf("Eccentricity(0) = %d, want 3", got)
+	}
+	if got := g.Eccentricity(1); got != -1 {
+		t.Errorf("Eccentricity(1) = %d, want -1", got)
+	}
+	if got := g.Radius(); got != 3 {
+		t.Errorf("Radius = %d, want 3", got)
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Roots = %v, want [0]", got)
+	}
+	if !g.IsRooted() {
+		t.Error("path should be rooted")
+	}
+
+	// Two disjoint self-loops: nobody reaches everyone.
+	h := New(2)
+	h.AddEdge(0, 0)
+	h.AddEdge(1, 1)
+	if h.IsRooted() {
+		t.Error("disconnected graph reported rooted")
+	}
+	if got := h.Radius(); got != -1 {
+		t.Errorf("Radius of disconnected graph = %d, want -1", got)
+	}
+}
+
+func TestRandomNonsplit(t *testing.T) {
+	src := rng.New(5)
+	for _, n := range []int{1, 2, 5, 20} {
+		for _, p := range []float64{0, 0.1, 0.5} {
+			g := RandomNonsplit(n, p, src)
+			if !g.IsNonsplit() {
+				t.Errorf("RandomNonsplit(%d, %v) not nonsplit", n, p)
+			}
+			if !g.HasSelfLoops() {
+				t.Errorf("RandomNonsplit(%d, %v) missing self-loops", n, p)
+			}
+		}
+	}
+}
+
+func TestNonsplitRadiusSmall(t *testing.T) {
+	// Függer–Nowak–Winkler: nonsplit graphs have small rooted radius —
+	// O(log log n) for the kernel-style family. Check the radius is tiny
+	// compared to n for our generator.
+	src := rng.New(6)
+	for _, n := range []int{10, 50, 200} {
+		g := RandomNonsplit(n, 0.05, src)
+		r := g.Radius()
+		if r < 0 {
+			t.Fatalf("n=%d: nonsplit graph has no root", n)
+		}
+		if r > 3 {
+			t.Errorf("n=%d: kernel nonsplit radius = %d, expected <= 3", n, r)
+		}
+	}
+}
+
+func TestPropertyProductAssociative(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(10)
+		a := FromTree(tree.Random(n, src))
+		b := FromTree(tree.Random(n, src))
+		c := FromTree(tree.Random(n, src))
+		return a.Product(b).Product(c).Matrix().Equal(a.Product(b.Product(c)).Matrix())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTreeRoundGraphIsRooted(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(20)
+		tr := tree.Random(n, src)
+		g := FromTree(tr)
+		roots := g.Roots()
+		return len(roots) == 1 && roots[0] == tr.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIsNonsplit(b *testing.B) {
+	src := rng.New(1)
+	g := RandomNonsplit(256, 0.05, src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.IsNonsplit()
+	}
+}
+
+func BenchmarkProduct(b *testing.B) {
+	src := rng.New(1)
+	g := FromTree(tree.Random(256, src))
+	h := FromTree(tree.Random(256, src))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Product(h)
+	}
+}

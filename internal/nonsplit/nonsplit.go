@@ -1,0 +1,183 @@
+// Package nonsplit implements the broadcast game when the adversary is
+// restricted to nonsplit graphs — the §5 extension the paper proposes
+// ("the setting where the adversary is bound to nonsplit graphs"), and
+// the regime behind the previous best bound: Függer–Nowak–Winkler show
+// broadcast under nonsplit adversaries takes O(log log n) rounds, and
+// combining with the Charron-Bost–Függer–Nowak simulation lemma (n−1
+// rooted-tree rounds contain a nonsplit round) gave the pre-paper
+// O(n log log n) bound for dynamic rooted trees.
+//
+// Unlike rooted trees, a nonsplit round graph may have arbitrary edge
+// structure as long as every pair of vertices shares an in-neighbor, so
+// the engine here composes full product graphs rather than applying
+// parent arrays. Each round returned by an adversary is validated for
+// nonsplitness — a non-compliant adversary fails the run, mirroring how
+// the restriction is part of the game's rules.
+package nonsplit
+
+import (
+	"errors"
+	"fmt"
+
+	"dyntreecast/internal/bitset"
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/graph"
+	"dyntreecast/internal/rng"
+)
+
+// Adversary chooses a nonsplit round graph given the current knowledge
+// state (the adjacency matrix of G(t)).
+type Adversary interface {
+	// Next returns the digraph for round round+1 given the current
+	// product graph m. The result must be nonsplit and on m.N() vertices.
+	Next(round int, m *boolmat.Matrix) *graph.Digraph
+}
+
+// Sentinel errors.
+var (
+	// ErrNotNonsplit reports an adversary returning a graph that violates
+	// the nonsplit restriction.
+	ErrNotNonsplit = errors.New("nonsplit: adversary returned a split graph")
+	// ErrMaxRounds reports an exhausted round budget.
+	ErrMaxRounds = errors.New("nonsplit: max rounds exceeded")
+)
+
+// Time runs the broadcast game under a nonsplit-restricted adversary and
+// returns the number of rounds until some vertex's value has reached
+// everyone. maxRounds <= 0 means the F-N-W-safe default of
+// 4·⌈log₂ log₂ n⌉ + 16.
+func Time(n int, adv Adversary, maxRounds int) (int, error) {
+	if n < 1 {
+		panic(fmt.Sprintf("nonsplit: Time needs n >= 1, got %d", n))
+	}
+	if maxRounds <= 0 {
+		maxRounds = defaultBudget(n)
+	}
+	m := boolmat.Identity(n)
+	for round := 1; round <= maxRounds; round++ {
+		if m.HasFullRow() {
+			return round - 1, nil
+		}
+		g := adv.Next(round-1, m)
+		if g == nil || g.N() != n {
+			return round - 1, fmt.Errorf("nonsplit: round %d: adversary returned an invalid graph", round)
+		}
+		if !g.IsNonsplit() {
+			return round - 1, fmt.Errorf("%w: round %d", ErrNotNonsplit, round)
+		}
+		m = m.Product(g.Matrix())
+	}
+	if m.HasFullRow() {
+		return maxRounds, nil
+	}
+	return maxRounds, fmt.Errorf("%w: %d", ErrMaxRounds, maxRounds)
+}
+
+// defaultBudget is a generous multiple of the F-N-W O(log log n) bound.
+func defaultBudget(n int) int {
+	ll := 0
+	for v := n; v > 1; v >>= 1 {
+		ll++
+	} // ll = ceil(log2 n)
+	l2 := 0
+	for v := ll; v > 1; v >>= 1 {
+		l2++
+	} // l2 ~ log2 log2 n
+	return 4*(l2+1) + 16
+}
+
+// Kernel plays a random nonsplit graph with a universal kernel vertex and
+// extra density P. Broadcast completes in one round (the kernel reaches
+// everyone), making this the baseline degenerate family.
+type Kernel struct {
+	P   float64
+	Src *rng.Source
+}
+
+// Next implements Adversary.
+func (k Kernel) Next(_ int, m *boolmat.Matrix) *graph.Digraph {
+	return graph.RandomNonsplit(m.N(), k.P, k.Src)
+}
+
+var _ Adversary = Kernel{}
+
+// RandomCover plays nonsplit graphs built by covering each vertex pair
+// with a uniformly random witness: for every pair {u, v}, one random z
+// receives edges z → u and z → v. No vertex is universal (for n ≥ 3, with
+// overwhelming probability), so broadcast takes more than one round —
+// this family probes the O(log log n) regime.
+type RandomCover struct{ Src *rng.Source }
+
+// Next implements Adversary.
+func (r RandomCover) Next(_ int, m *boolmat.Matrix) *graph.Digraph {
+	n := m.N()
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, v)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			z := r.Src.Intn(n)
+			g.AddEdge(z, u)
+			g.AddEdge(z, v)
+		}
+	}
+	return g
+}
+
+var _ Adversary = RandomCover{}
+
+// LazyCover is the adaptive stalling heuristic: it covers each pair with
+// the witness whose knowledge would leak the least into the pair,
+// weighting leaks to widely-spread values more, and balancing witness
+// reuse so that no vertex drifts toward universality (a universal vertex
+// would end the game in one round). This is the natural transplant of the
+// MinGain idea into the nonsplit game.
+type LazyCover struct{}
+
+// Next implements Adversary.
+func (LazyCover) Next(_ int, m *boolmat.Matrix) *graph.Digraph {
+	n := m.N()
+	g := graph.New(n)
+	cols := make([]*bitset.Set, n)
+	for y := 0; y < n; y++ {
+		g.AddEdge(y, y)
+		cols[y] = m.Column(y)
+	}
+	reach := m.RowCounts()
+	// leak(z, y): weighted knowledge y would gain from in-neighbor z.
+	leak := func(z, y int) int {
+		if z == y || g.HasEdge(z, y) {
+			return 0 // edge already present: no marginal leak
+		}
+		w := 0
+		cols[z].ForEach(func(x int) bool {
+			if !cols[y].Test(x) {
+				w += 1 + reach[x]*reach[x]
+			}
+			return true
+		})
+		return w
+	}
+	// used[z] counts edges already charged to witness z this round; the
+	// quadratic reuse term spreads the cover so no witness becomes
+	// universal.
+	used := make([]int, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			bestZ, bestW := -1, 0
+			for z := 0; z < n; z++ {
+				w := leak(z, u) + leak(z, v) + used[z]*used[z]
+				if bestZ < 0 || w < bestW {
+					bestZ, bestW = z, w
+				}
+			}
+			g.AddEdge(bestZ, u)
+			g.AddEdge(bestZ, v)
+			used[bestZ] += 2
+		}
+	}
+	return g
+}
+
+var _ Adversary = LazyCover{}

@@ -1,0 +1,163 @@
+package nonsplit
+
+import (
+	"errors"
+	"testing"
+
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/graph"
+	"dyntreecast/internal/rng"
+)
+
+func TestKernelCompletesInOneRound(t *testing.T) {
+	src := rng.New(1)
+	for _, n := range []int{2, 8, 64} {
+		rounds, err := Time(n, Kernel{P: 0, Src: src}, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rounds != 1 {
+			t.Errorf("n=%d: kernel broadcast = %d rounds, want 1", n, rounds)
+		}
+	}
+}
+
+func TestTimeN1(t *testing.T) {
+	src := rng.New(1)
+	rounds, err := Time(1, Kernel{Src: src}, 0)
+	if err != nil || rounds != 0 {
+		t.Errorf("n=1: rounds=%d err=%v, want 0 rounds", rounds, err)
+	}
+}
+
+func TestRandomCoverIsNonsplitAndFast(t *testing.T) {
+	// The whole point of the F-N-W regime: broadcast under nonsplit
+	// adversaries takes a tiny number of rounds even for large n —
+	// contrast with the linear t* of rooted trees.
+	src := rng.New(2)
+	for _, n := range []int{4, 16, 64, 256} {
+		rounds, err := Time(n, RandomCover{Src: src}, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rounds < 1 {
+			t.Errorf("n=%d: rounds = %d", n, rounds)
+		}
+		if rounds > defaultBudget(n) {
+			t.Errorf("n=%d: rounds = %d exceeds the log-log budget %d", n, rounds, defaultBudget(n))
+		}
+	}
+}
+
+func TestRandomCoverGraphsAreNonsplit(t *testing.T) {
+	src := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		g := (RandomCover{Src: src}).Next(0, boolmat.Identity(9))
+		if !g.IsNonsplit() {
+			t.Fatal("RandomCover produced a split graph")
+		}
+	}
+}
+
+func TestLazyCoverStallsLongerThanRandomCover(t *testing.T) {
+	// The adaptive stalling heuristic should do at least as well as the
+	// oblivious random cover (and must stay within the log-log budget).
+	src := rng.New(4)
+	for _, n := range []int{8, 32, 128} {
+		lazy, err := Time(n, LazyCover{}, 0)
+		if err != nil {
+			t.Fatalf("lazy n=%d: %v", n, err)
+		}
+		rnd, err := Time(n, RandomCover{Src: src}, 0)
+		if err != nil {
+			t.Fatalf("random n=%d: %v", n, err)
+		}
+		if lazy < rnd {
+			t.Errorf("n=%d: lazy cover (%d) stalls less than random cover (%d)", n, lazy, rnd)
+		}
+	}
+}
+
+func TestLazyCoverGraphsAreNonsplit(t *testing.T) {
+	m := boolmat.Identity(7)
+	g := (LazyCover{}).Next(0, m)
+	if !g.IsNonsplit() {
+		t.Fatal("LazyCover produced a split graph")
+	}
+}
+
+// splitAdversary violates the restriction (path graph is split).
+type splitAdversary struct{}
+
+func (splitAdversary) Next(_ int, m *boolmat.Matrix) *graph.Digraph {
+	g := graph.New(m.N())
+	for v := 0; v < m.N(); v++ {
+		g.AddEdge(v, v)
+	}
+	return g // self-loops only: pairs share no in-neighbor
+}
+
+func TestSplitAdversaryRejected(t *testing.T) {
+	_, err := Time(4, splitAdversary{}, 10)
+	if !errors.Is(err, ErrNotNonsplit) {
+		t.Fatalf("err = %v, want ErrNotNonsplit", err)
+	}
+}
+
+// nilAdversary returns nil.
+type nilAdversary struct{}
+
+func (nilAdversary) Next(int, *boolmat.Matrix) *graph.Digraph { return nil }
+
+func TestNilAdversaryRejected(t *testing.T) {
+	if _, err := Time(4, nilAdversary{}, 10); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// stallForever is compliant but there is no way to stall nonsplit
+// broadcast past the budget — use a tiny budget to exercise ErrMaxRounds.
+func TestMaxRoundsSurfaced(t *testing.T) {
+	// With budget 0 rounds... budget is clamped to default; use a split
+	// scenario instead: LazyCover with budget 0 is fine, so force the
+	// error by running RandomCover on a large n with budget 1 — if it
+	// finishes in one round there is nothing to report, so pick the
+	// slowest family and accept either outcome but require a clean error
+	// type when the budget trips.
+	src := rng.New(5)
+	rounds, err := Time(256, RandomCover{Src: src}, 1)
+	if err != nil {
+		if !errors.Is(err, ErrMaxRounds) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+		if rounds != 1 {
+			t.Errorf("partial rounds = %d, want 1", rounds)
+		}
+	}
+}
+
+func TestDefaultBudgetGrowsSlowly(t *testing.T) {
+	// The budget is Θ(log log n): it should grow by only a few rounds
+	// over two orders of magnitude.
+	if d := defaultBudget(1 << 16); d-defaultBudget(4) > 16 {
+		t.Errorf("budget grew too fast: %d vs %d", defaultBudget(4), d)
+	}
+}
+
+func BenchmarkRandomCoverBroadcast(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		name := map[int]string{32: "n32", 128: "n128"}[n]
+		b.Run(name, func(b *testing.B) {
+			src := rng.New(1)
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				var err error
+				rounds, err = Time(n, RandomCover{Src: src}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds), "t*")
+		})
+	}
+}

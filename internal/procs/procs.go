@@ -1,0 +1,179 @@
+// Package procs simulates the broadcast model with real message passing:
+// one goroutine per process, one channel per process inbox, and synchronous
+// rounds driven by a coordinator.
+//
+// Each round, every process snapshots the set of values it has heard and
+// sends it to its children in the round's tree; every non-root process then
+// receives its parent's snapshot and merges it. Because processes send
+// snapshots taken before receiving, the round is exactly the single-hop
+// product-graph step of the model — the same operation the matrix engines
+// in package core perform with bitset unions. This engine exists to check
+// that the algebraic model and an operational message-passing system agree
+// (differential testing), and to ground the simulation in the distributed
+// system the paper abstracts.
+//
+// A Simulator owns its goroutines: Close releases them and must be called
+// when done (it is safe to call multiple times).
+package procs
+
+import (
+	"fmt"
+	"sync"
+
+	"dyntreecast/internal/bitset"
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/tree"
+)
+
+// roundCmd instructs a process to execute one synchronous round.
+type roundCmd struct {
+	// children are the inboxes of this process's children this round.
+	children []chan *bitset.Set
+	// recv is true when the process must receive from its inbox (it is
+	// not the round's root).
+	recv bool
+	// done is signalled once the process has finished the round.
+	done *sync.WaitGroup
+}
+
+// process is the per-goroutine state.
+type process struct {
+	id    int
+	heard *bitset.Set
+	inbox chan *bitset.Set
+	cmd   chan roundCmd
+}
+
+func (p *process) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range p.cmd {
+		if len(cmd.children) > 0 {
+			// One snapshot is safe to share among children: receivers
+			// only read it, and it is never mutated after this point.
+			snapshot := p.heard.Clone()
+			for _, ch := range cmd.children {
+				ch <- snapshot
+			}
+		}
+		if cmd.recv {
+			msg := <-p.inbox
+			p.heard.Union(msg)
+		}
+		cmd.done.Done()
+	}
+}
+
+// Simulator drives n process goroutines through synchronous rounds.
+type Simulator struct {
+	n     int
+	round int
+	procs []*process
+
+	wg        sync.WaitGroup // process lifecycle
+	closeOnce sync.Once
+}
+
+// New starts a simulator with n process goroutines, each knowing only its
+// own value. Callers must Close it. n must be >= 1.
+func New(n int) *Simulator {
+	if n < 1 {
+		panic(fmt.Sprintf("procs: New needs n >= 1, got %d", n))
+	}
+	s := &Simulator{n: n, procs: make([]*process, n)}
+	for i := 0; i < n; i++ {
+		p := &process{
+			id:    i,
+			heard: bitset.New(n),
+			// Capacity 1: each inbox receives exactly one message per
+			// round (from the parent), so sends never block and the
+			// send-then-receive order in loop cannot deadlock.
+			inbox: make(chan *bitset.Set, 1),
+			cmd:   make(chan roundCmd),
+		}
+		p.heard.Set(i)
+		s.procs[i] = p
+	}
+	s.wg.Add(n)
+	for _, p := range s.procs {
+		go p.loop(&s.wg)
+	}
+	return s
+}
+
+// N returns the number of processes.
+func (s *Simulator) N() int { return s.n }
+
+// Round returns the number of rounds executed.
+func (s *Simulator) Round() int { return s.round }
+
+// Step runs one synchronous round along t, blocking until every process
+// has finished the round.
+func (s *Simulator) Step(t *tree.Tree) {
+	if t.N() != s.n {
+		panic(fmt.Sprintf("procs: tree on %d vertices for %d processes", t.N(), s.n))
+	}
+	children := t.Children()
+	var done sync.WaitGroup
+	done.Add(s.n)
+	root := t.Root()
+	for i, p := range s.procs {
+		chs := make([]chan *bitset.Set, len(children[i]))
+		for j, c := range children[i] {
+			chs[j] = s.procs[c].inbox
+		}
+		p.cmd <- roundCmd{children: chs, recv: i != root, done: &done}
+	}
+	done.Wait()
+	s.round++
+}
+
+// Heard returns a snapshot copy of the set of values process y has heard.
+// Safe to call between rounds only (the coordinator's Step provides the
+// necessary happens-before edge).
+func (s *Simulator) Heard(y int) *bitset.Set { return s.procs[y].heard.Clone() }
+
+// Matrix materializes the adjacency matrix of the current product graph:
+// entry (x, y) iff y has heard x's value.
+func (s *Simulator) Matrix() *boolmat.Matrix {
+	m := boolmat.Zero(s.n)
+	for y, p := range s.procs {
+		p.heard.ForEach(func(x int) bool {
+			m.Set(x, y)
+			return true
+		})
+	}
+	return m
+}
+
+// BroadcastDone reports whether some value has reached every process.
+func (s *Simulator) BroadcastDone() bool {
+	inter := s.procs[0].heard.Clone()
+	for _, p := range s.procs[1:] {
+		inter.Intersect(p.heard)
+		if inter.Empty() {
+			return false
+		}
+	}
+	return !inter.Empty()
+}
+
+// GossipDone reports whether every process has heard every value.
+func (s *Simulator) GossipDone() bool {
+	for _, p := range s.procs {
+		if !p.heard.Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close shuts down the process goroutines and waits for them to exit.
+// Safe to call multiple times; the simulator must not be stepped after.
+func (s *Simulator) Close() {
+	s.closeOnce.Do(func() {
+		for _, p := range s.procs {
+			close(p.cmd)
+		}
+		s.wg.Wait()
+	})
+}

@@ -1,0 +1,169 @@
+package procs
+
+import (
+	"testing"
+
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+func TestInitialState(t *testing.T) {
+	s := New(5)
+	defer s.Close()
+	for y := 0; y < 5; y++ {
+		k := s.Heard(y)
+		if k.Count() != 1 || !k.Test(y) {
+			t.Errorf("K_%d = %v, want {%d}", y, k, y)
+		}
+	}
+	if s.Round() != 0 {
+		t.Errorf("Round() = %d, want 0", s.Round())
+	}
+	if s.BroadcastDone() {
+		t.Error("broadcast done at round 0 for n=5")
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestN1(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	if !s.BroadcastDone() || !s.GossipDone() {
+		t.Error("n=1 should be complete at round 0")
+	}
+	s.Step(tree.MustNew([]int{0}))
+	if s.Round() != 1 {
+		t.Error("Step did not advance round")
+	}
+}
+
+func TestSingleHopPerRound(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+	s.Step(tree.IdentityPath(4))
+	if got := s.Heard(3).Slice(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("K_3 after one round = %v, want [2 3]", got)
+	}
+	if got := s.Heard(1).Slice(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("K_1 after one round = %v, want [0 1]", got)
+	}
+}
+
+func TestStepSizeMismatchPanics(t *testing.T) {
+	s := New(3)
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Step(tree.IdentityPath(4))
+}
+
+func TestStaticPathBroadcast(t *testing.T) {
+	const n = 8
+	s := New(n)
+	defer s.Close()
+	p := tree.IdentityPath(n)
+	rounds := 0
+	for !s.BroadcastDone() {
+		s.Step(p)
+		rounds++
+		if rounds > n {
+			t.Fatal("static path exceeded n rounds")
+		}
+	}
+	if rounds != n-1 {
+		t.Errorf("t* = %d, want %d", rounds, n-1)
+	}
+}
+
+func TestAgreesWithCoreEngine(t *testing.T) {
+	// The message-passing system and the algebraic engine must produce
+	// identical knowledge states on identical tree sequences.
+	src := rng.New(33)
+	for _, n := range []int{2, 3, 7, 20} {
+		s := New(n)
+		e := core.NewEngine(n)
+		for r := 0; r < 2*n; r++ {
+			tr := tree.Random(n, src)
+			s.Step(tr)
+			e.Step(tr)
+			if !s.Matrix().Equal(e.Matrix()) {
+				s.Close()
+				t.Fatalf("n=%d round %d: procs and core diverged", n, r+1)
+			}
+			if s.BroadcastDone() != e.BroadcastDone() {
+				s.Close()
+				t.Fatalf("n=%d round %d: broadcast predicates diverged", n, r+1)
+			}
+			if s.GossipDone() != e.GossipDone() {
+				s.Close()
+				t.Fatalf("n=%d round %d: gossip predicates diverged", n, r+1)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestHeardReturnsSnapshot(t *testing.T) {
+	s := New(3)
+	defer s.Close()
+	k := s.Heard(0)
+	k.Set(2) // mutate the snapshot
+	if s.Heard(0).Test(2) {
+		t.Error("mutating Heard snapshot affected simulator state")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := New(4)
+	s.Close()
+	s.Close() // must not panic or deadlock
+}
+
+func TestManyRoundsNoLeak(t *testing.T) {
+	// Exercise the channel protocol hard; run with -race to check for
+	// coordinator/process data races.
+	src := rng.New(44)
+	s := New(16)
+	defer s.Close()
+	for r := 0; r < 200; r++ {
+		s.Step(tree.Random(16, src))
+	}
+	if s.Round() != 200 {
+		t.Errorf("Round() = %d, want 200", s.Round())
+	}
+	if !s.GossipDone() {
+		t.Error("gossip not complete after 200 random rounds on n=16")
+	}
+}
+
+func BenchmarkProcsStep(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		name := map[int]string{16: "n16", 64: "n64", 256: "n256"}[n]
+		b.Run(name, func(b *testing.B) {
+			src := rng.New(1)
+			s := New(n)
+			defer s.Close()
+			trees := make([]*tree.Tree, 32)
+			for i := range trees {
+				trees[i] = tree.Random(n, src)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(trees[i%len(trees)])
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+// Package trace records the round-by-round evolution of a simulation —
+// the matrix statistics the paper's proof tracks (experiment E8) — and
+// renders it as text or JSON.
+//
+// A Recorder plugs into core.Run as an observer; each round it captures
+// the applied tree and the knowledge-state statistics.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/tree"
+)
+
+// Record is one round of a simulation.
+type Record struct {
+	Round int `json:"round"`
+	// Parents is the parent array of the round's tree.
+	Parents []int `json:"parents"`
+	Root    int   `json:"root"`
+	Leaves  int   `json:"leaves"`
+	IsPath  bool  `json:"is_path"`
+	// Matrix statistics after the round.
+	Edges        int `json:"edges"`
+	NewEdges     int `json:"new_edges"`
+	MinRow       int `json:"min_row"`
+	MaxRow       int `json:"max_row"`
+	MinCol       int `json:"min_col"`
+	MaxCol       int `json:"max_col"`
+	Broadcasters int `json:"broadcasters"`
+}
+
+// Recorder accumulates Records. The zero value is ready to use.
+type Recorder struct {
+	records   []Record
+	prevEdges int
+}
+
+// Observer returns the callback to pass to core.WithObserver.
+func (r *Recorder) Observer() func(round int, t *tree.Tree, e *core.Engine) {
+	return func(round int, t *tree.Tree, e *core.Engine) {
+		s := e.Stats()
+		if r.prevEdges == 0 {
+			r.prevEdges = e.N() // identity state
+		}
+		rec := Record{
+			Round:        round,
+			Parents:      append([]int(nil), t.Parents()...),
+			Root:         t.Root(),
+			Leaves:       t.NumLeaves(),
+			IsPath:       t.IsPath(),
+			Edges:        s.Edges,
+			NewEdges:     s.Edges - r.prevEdges,
+			MinRow:       s.MinRow,
+			MaxRow:       s.MaxRow,
+			MinCol:       s.MinCol,
+			MaxCol:       s.MaxCol,
+			Broadcasters: e.Broadcasters().Count(),
+		}
+		r.prevEdges = s.Edges
+		r.records = append(r.records, rec)
+	}
+}
+
+// Records returns the accumulated rounds.
+func (r *Recorder) Records() []Record { return r.records }
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() {
+	r.records = nil
+	r.prevEdges = 0
+}
+
+// WriteJSON writes the records as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.records); err != nil {
+		return fmt.Errorf("trace: encoding records: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses records written by WriteJSON.
+func ReadJSON(rd io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(rd).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("trace: decoding records: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteTable renders the records as an aligned text table: the per-round
+// quantities (edge growth, row/column extremes) the paper's analysis is
+// about.
+func (r *Recorder) WriteTable(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %6s %5s %5s %7s %7s %7s %7s %6s %5s\n",
+		"round", "root", "leaf", "path", "edges", "+edges", "minrow", "maxrow", "mincol", "bcast")
+	for _, rec := range r.records {
+		fmt.Fprintf(&b, "%5d %6d %5d %5v %7d %7d %7d %7d %6d %5d\n",
+			rec.Round, rec.Root, rec.Leaves, rec.IsPath,
+			rec.Edges, rec.NewEdges, rec.MinRow, rec.MaxRow, rec.MinCol, rec.Broadcasters)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("trace: writing table: %w", err)
+	}
+	return nil
+}
+
+// VerifyGrowth checks the §2 edge-growth lemma over the trace: every
+// round before broadcast completion must add at least one edge, and edge
+// counts must be non-decreasing throughout. It returns the first
+// violating record, or nil.
+func VerifyGrowth(recs []Record) *Record {
+	for i := range recs {
+		rec := &recs[i]
+		if rec.NewEdges < 0 {
+			return rec
+		}
+		if rec.NewEdges == 0 && rec.Broadcasters == 0 {
+			return rec
+		}
+	}
+	return nil
+}
+
+// MatrixOf reconstructs the knowledge matrix at the end of a record
+// sequence by replaying the recorded trees from the identity state. It
+// errors if a recorded parent array is not a valid tree.
+func MatrixOf(n int, recs []Record) (*boolmat.Matrix, error) {
+	m := boolmat.Identity(n)
+	for _, rec := range recs {
+		t, err := tree.New(rec.Parents)
+		if err != nil {
+			return nil, fmt.Errorf("trace: round %d: %w", rec.Round, err)
+		}
+		m.ApplyTree(t)
+	}
+	return m, nil
+}

@@ -1,0 +1,29 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot format, with the root highlighted.
+// Self-loops (implicit in the broadcast model) are not drawn. name must be
+// a valid dot identifier; it defaults to "tree" when empty.
+func (t *Tree) DOT(name string) string {
+	if name == "" {
+		name = "tree"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=circle];\n")
+	if t.N() > 0 {
+		fmt.Fprintf(&b, "  %d [style=filled, fillcolor=lightgray]; // root\n", t.root)
+	}
+	for v, p := range t.parent {
+		if v != p {
+			fmt.Fprintf(&b, "  %d -> %d;\n", p, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	tr := MustNew([]int{1, 1, 1, 0})
+	out := tr.DOT("g")
+	for _, want := range []string{
+		"digraph g {",
+		"1 [style=filled",
+		"1 -> 0;",
+		"1 -> 2;",
+		"0 -> 3;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1 -> 1") {
+		t.Error("self-loop drawn")
+	}
+	// Edge count: n−1 arrows.
+	if got := strings.Count(out, "->"); got != 3 {
+		t.Errorf("drew %d edges, want 3", got)
+	}
+}
+
+func TestDOTDefaultsAndEmpty(t *testing.T) {
+	if out := MustNew([]int{0}).DOT(""); !strings.Contains(out, "digraph tree {") {
+		t.Errorf("default name missing: %s", out)
+	}
+	empty, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := empty.DOT("e"); !strings.Contains(out, "digraph e {") {
+		t.Errorf("empty tree DOT malformed: %s", out)
+	}
+}
