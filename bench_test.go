@@ -9,12 +9,16 @@
 package dyntreecast_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"dyntreecast"
 	"dyntreecast/internal/adversary"
 	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/consensus"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/experiment"
@@ -317,6 +321,75 @@ func BenchmarkNonsplitGame(b *testing.B) {
 			b.ReportMetric(float64(bounds.Lower(n)), "tree_lower")
 		})
 	}
+}
+
+// BenchmarkCampaignParallel measures the campaign runner on a
+// random-adversary grid: serial (workers=1) versus the GOMAXPROCS worker
+// pool on the identical spec. Both sub-benchmarks report simulated
+// rounds/sec; the parallel one additionally reports its speedup over the
+// serial per-run time measured in the same process. (On a single-core
+// host the speedup hovers around 1; the campaign's value there is
+// cancellation and streaming aggregation, not throughput.)
+func BenchmarkCampaignParallel(b *testing.B) {
+	spec := campaign.Spec{
+		Name:        "bench",
+		Adversaries: []string{"random-tree"},
+		Ns:          []int{64, 128},
+		Trials:      32,
+		Seed:        1,
+	}
+	totalRounds := func(o *campaign.Outcome) float64 {
+		sum := 0.0
+		for _, c := range o.Cells {
+			sum += c.Mean * float64(c.Count)
+		}
+		return sum
+	}
+	runOnce := func(workers int) (float64, error) {
+		o, err := campaign.RunSpec(context.Background(), spec, campaign.Config{Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		if err := errFromOutcome(o); err != nil {
+			return 0, err
+		}
+		return totalRounds(o), nil
+	}
+	var serialPerOp time.Duration
+	b.Run("serial", func(b *testing.B) {
+		var rounds float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			if rounds, err = runOnce(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		serialPerOp = b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(rounds*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		var rounds float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			if rounds, err = runOnce(workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perOp := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(rounds*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+		b.ReportMetric(float64(workers), "workers")
+		if serialPerOp > 0 && perOp > 0 {
+			b.ReportMetric(float64(serialPerOp)/float64(perOp), "speedup")
+		}
+	})
+}
+
+func errFromOutcome(o *campaign.Outcome) error {
+	if o.Failed > 0 {
+		return fmt.Errorf("%d campaign jobs failed: %s", o.Failed, o.Errors[0])
+	}
+	return nil
 }
 
 // BenchmarkConsensus (E10 extension) measures FloodMin termination under

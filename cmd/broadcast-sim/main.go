@@ -6,9 +6,16 @@
 //
 //	broadcast-sim -n 32 -adversary ascending-path -trace
 //	broadcast-sim -n 16 -adversary random-tree -seed 7 -goal gossip -json
+//	broadcast-sim -n 64 -adversary random-tree -trials 100 -workers 4
+//
+// With -trials > 1 the run becomes a mini-campaign: the trials execute on
+// the campaign worker pool (each with a deterministically pre-split
+// source, so the summary is identical for every -workers value) and a
+// count/mean/min/max/p50/p99 summary replaces the single-run trace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +23,7 @@ import (
 
 	"dyntreecast/internal/adversary"
 	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/experiment"
 	"dyntreecast/internal/gamesolver"
@@ -40,6 +48,8 @@ func run(args []string) error {
 		showTr   = fs.Bool("trace", false, "print the per-round trace table")
 		asJSON   = fs.Bool("json", false, "print the trace as JSON instead of text")
 		maxR     = fs.Int("max-rounds", 0, "round budget (0 = n^2+1)")
+		trials   = fs.Int("trials", 1, "trials; > 1 aggregates a parallel mini-campaign instead of tracing one run")
+		workers  = fs.Int("workers", 0, "worker pool for -trials > 1 (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,11 +57,20 @@ func run(args []string) error {
 	if *n < 1 {
 		return fmt.Errorf("n must be >= 1, got %d", *n)
 	}
-
-	adv, err := buildAdversary(*advName, *n, *seed)
-	if err != nil {
-		return err
+	if *trials < 1 {
+		return fmt.Errorf("trials must be >= 1, got %d", *trials)
 	}
+	if *trials > 1 {
+		if *showTr || *asJSON {
+			return fmt.Errorf("-trace/-json need a single run; drop them or use -trials 1")
+		}
+		// The search strata are deterministic functions of -seed and ignore
+		// per-trial sources: N trials would just repeat one expensive search.
+		if *advName == "beam-search" || *advName == "exact-optimal" {
+			return fmt.Errorf("adversary %q is deterministic given -seed; -trials > 1 would repeat the identical search", *advName)
+		}
+	}
+
 	goal := core.Broadcast
 	switch *goalName {
 	case "broadcast":
@@ -59,6 +78,14 @@ func run(args []string) error {
 		goal = core.Gossip
 	default:
 		return fmt.Errorf("unknown goal %q", *goalName)
+	}
+	if *trials > 1 {
+		return runTrials(*advName, *n, *seed, *trials, *workers, goal, *maxR)
+	}
+
+	adv, err := buildAdversary(*advName, *n, *seed)
+	if err != nil {
+		return err
 	}
 
 	var rec trace.Recorder
@@ -90,6 +117,54 @@ func run(args []string) error {
 	return nil
 }
 
+// runTrials runs the adversary trials times on the campaign pool and
+// prints the aggregate. Each trial's source is pre-split from the seed in
+// trial order, so the summary is the same for every worker count.
+func runTrials(advName string, n int, seed uint64, trials, workers int, goal core.Goal, maxR int) error {
+	var opts []core.Option
+	if maxR > 0 {
+		opts = append(opts, core.WithMaxRounds(maxR))
+	}
+	root := rng.New(seed)
+	jobs := make([]campaign.Job, trials)
+	for i := range jobs {
+		jobs[i] = campaign.Job{
+			Index: i,
+			Src:   root.Split(),
+			Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
+				adv, err := buildAdversaryFrom(advName, n, src, seed)
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.Run(n, adv, goal, opts...)
+				if err != nil {
+					return nil, err
+				}
+				return []campaign.Measurement{{Cell: "rounds", Value: float64(res.Rounds)}}, nil
+			},
+		}
+	}
+	results, err := campaign.Run(context.Background(), jobs, campaign.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	if err := campaign.JoinErrors(results); err != nil {
+		return err
+	}
+	cell, _ := campaign.CellByKey(campaign.Aggregate(results), "rounds")
+	fmt.Printf("n=%d adversary=%s goal=%s trials=%d\n", n, advName, goal, trials)
+	fmt.Printf("rounds: mean=%.2f sd=%.2f min=%g p50=%g p99=%g max=%g\n",
+		cell.Mean, cell.StdDev, cell.Min, cell.P50, cell.P99, cell.Max)
+	fmt.Printf("bounds: lower=%d upper=%d (mean/n = %.3f)\n",
+		bounds.Lower(n), bounds.UpperLinear(n), cell.Mean/float64(n))
+	if goal == core.Broadcast {
+		if err := bounds.CheckSandwich(n, int(cell.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func advNames() []string {
 	names := make([]string, 0, 8)
 	for _, na := range experiment.Portfolio() {
@@ -99,9 +174,16 @@ func advNames() []string {
 }
 
 func buildAdversary(name string, n int, seed uint64) (core.Adversary, error) {
+	return buildAdversaryFrom(name, n, rng.New(seed), seed)
+}
+
+// buildAdversaryFrom builds the named adversary from an explicit source
+// (for per-trial splitting). The search strata are deterministic given
+// seed and ignore src.
+func buildAdversaryFrom(name string, n int, src *rng.Source, seed uint64) (core.Adversary, error) {
 	for _, na := range experiment.Portfolio() {
 		if na.Name == name {
-			return na.New(n, rng.New(seed)), nil
+			return na.New(n, src), nil
 		}
 	}
 	switch name {

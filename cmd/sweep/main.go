@@ -10,6 +10,10 @@
 //	sweep -exp exact
 //	sweep -exp gossip -ns 8,16,32 -trials 20
 //	sweep -exp static -ns 2,8,64
+//
+// Randomized experiments fan their trials out over the campaign worker
+// pool; -workers tunes the pool (0 = GOMAXPROCS, 1 = the old serial
+// harness) without changing a single output digit.
 package main
 
 import (
@@ -39,6 +43,7 @@ func run(args []string) error {
 		seed   = fs.Uint64("seed", 1, "random seed")
 		maxN   = fs.Int("max-n", 5, "largest n for the exact experiment")
 		asCSV  = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		wrkrs  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,22 +57,23 @@ func run(args []string) error {
 		return fmt.Errorf("-ks: %w", err)
 	}
 
+	opt := experiment.WithWorkers(*wrkrs)
 	var table *experiment.Table
 	switch *exp {
 	case "figure1":
-		table, err = experiment.Figure1(ns, *seed)
+		table, err = experiment.Figure1(ns, *seed, opt)
 	case "theorem31":
-		table, err = experiment.Theorem31(ns, *seed)
+		table, err = experiment.Theorem31(ns, *seed, opt)
 	case "static":
 		table, err = experiment.StaticPath(ns)
 	case "restricted":
-		table, err = experiment.Restricted(ns, ks, *trials, *seed)
+		table, err = experiment.Restricted(ns, ks, *trials, *seed, opt)
 	case "nonsplit":
-		table, err = experiment.Nonsplit(ns, *trials, *seed)
+		table, err = experiment.Nonsplit(ns, *trials, *seed, opt)
 	case "exact":
-		table, err = experiment.Exact(*maxN, *seed)
+		table, err = experiment.Exact(*maxN, *seed, opt)
 	case "gossip":
-		table, err = experiment.GossipVsBroadcast(ns, *trials, *seed)
+		table, err = experiment.GossipVsBroadcast(ns, *trials, *seed, opt)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

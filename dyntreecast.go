@@ -27,8 +27,11 @@
 package dyntreecast
 
 import (
+	"context"
+
 	"dyntreecast/internal/adversary"
 	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/consensus"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/gamesolver"
@@ -273,6 +276,32 @@ type NonsplitAdversary = nonsplit.Adversary
 func NonsplitBroadcastTime(n int, adv NonsplitAdversary, maxRounds int) (int, error) {
 	return nonsplit.Time(n, adv, maxRounds)
 }
+
+// Campaign declaratively describes a parallel experiment sweep: the cross
+// product adversaries × ns (× ks) × trials, run toward a goal from one
+// seed. See the campaign package for the determinism contract.
+type Campaign = campaign.Spec
+
+// CampaignOutcome is the aggregated, machine-diffable result of a
+// campaign: per-cell count/mean/stddev/min/max/p50/p99 plus error
+// accounting. Its WriteJSON and WriteJSONL methods emit artifacts that
+// are byte-identical for identical specs regardless of worker count.
+type CampaignOutcome = campaign.Outcome
+
+// CampaignCell is one aggregated grid point of a campaign.
+type CampaignCell = campaign.CellStats
+
+// RunCampaign compiles spec into per-trial jobs with deterministically
+// pre-split random sources and executes them on a worker pool (workers
+// <= 0 selects GOMAXPROCS). The outcome is bit-identical for any worker
+// count. Cancel ctx to stop early; the partial outcome is still returned.
+func RunCampaign(ctx context.Context, spec Campaign, workers int) (*CampaignOutcome, error) {
+	return campaign.RunSpec(ctx, spec, campaign.Config{Workers: workers})
+}
+
+// CampaignAdversaries lists the adversary names a Campaign may reference,
+// in canonical registry order.
+func CampaignAdversaries() []string { return campaign.Adversaries() }
 
 // RandomCoverAdversary plays nonsplit graphs that cover each vertex pair
 // with a random witness — the non-degenerate random family of the

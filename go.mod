@@ -1,0 +1,3 @@
+module dyntreecast
+
+go 1.24

@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON renders the outcome as one indented JSON document, the
+// machine-diffable campaign artifact. Byte-identical for identical specs,
+// regardless of worker count.
+func (o *Outcome) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding outcome: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("campaign: writing outcome: %w", err)
+	}
+	return nil
+}
+
+// jsonlRecord is one line of the JSONL artifact: a cell's stats tagged
+// with enough campaign identity to be self-describing when lines from
+// several campaigns are concatenated or streamed into a log store.
+type jsonlRecord struct {
+	Campaign string  `json:"campaign,omitempty"`
+	Seed     uint64  `json:"seed"`
+	Goal     string  `json:"goal,omitempty"`
+	Cell     string  `json:"cell"`
+	Count    int     `json:"count"`
+	Mean     float64 `json:"mean"`
+	StdDev   float64 `json:"stddev"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	P50      float64 `json:"p50"`
+	P99      float64 `json:"p99"`
+}
+
+// WriteJSONL renders the outcome as one JSON object per cell per line.
+func (o *Outcome) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, c := range o.Cells {
+		rec := jsonlRecord{
+			Campaign: o.Spec.Name,
+			Seed:     o.Spec.Seed,
+			Goal:     o.Spec.Goal,
+			Cell:     c.Cell,
+			Count:    c.Count,
+			Mean:     c.Mean,
+			StdDev:   c.StdDev,
+			Min:      c.Min,
+			Max:      c.Max,
+			P50:      c.P50,
+			P99:      c.P99,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("campaign: writing JSONL cell %s: %w", c.Cell, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package campaign is the parallel experiment orchestrator: it compiles a
+// declarative sweep specification (adversary × n × k × trials × goal) into
+// a flat list of jobs with deterministically pre-split random sources, and
+// executes them on a context-cancellable worker pool sized to GOMAXPROCS.
+//
+// The hard invariant of the package is bit-identical output: for a fixed
+// Spec (including its seed), the aggregated Outcome is the same regardless
+// of the worker count and of goroutine scheduling. Two mechanisms enforce
+// it:
+//
+//   - Every job owns a private rng.Source, split from the campaign's root
+//     source serially at compile time, in job-index order. Workers never
+//     share a generator, so execution order cannot perturb any stream.
+//   - Results land in a slice indexed by job index (disjoint writes, no
+//     locks), and aggregation walks that slice in index order. Scheduling
+//     can reorder execution but never observation.
+//
+// The experiment package routes its trial loops through Run, the
+// cmd/campaign binary drives RunSpec from a JSON spec, and the root
+// dyntreecast package re-exports Spec/RunSpec as Campaign/RunCampaign.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dyntreecast/internal/rng"
+)
+
+// Measurement is one named scalar produced by a job. Jobs that observe
+// several quantities on a single run (e.g. broadcast and gossip completion
+// of the same schedule) emit one Measurement per quantity.
+type Measurement struct {
+	Cell  string  // aggregation key; jobs sharing a cell are pooled
+	Value float64 // the observed quantity (usually a round count)
+}
+
+// Job is one unit of work: typically a single simulated run of one grid
+// point. Jobs are created in a deterministic compile order and each owns a
+// pre-split random source, so any worker may execute any job without
+// affecting results.
+type Job struct {
+	Index int         // position in compile order; doubles as the result slot
+	Src   *rng.Source // private generator, pre-split at compile time
+	Run   func(ctx context.Context, src *rng.Source) ([]Measurement, error)
+}
+
+// JobResult reports one executed (or skipped) job.
+type JobResult struct {
+	Index        int
+	Measurements []Measurement
+	Err          error
+	Skipped      bool // true when cancellation prevented the job from running
+}
+
+// Config tunes a Run.
+type Config struct {
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is called after every completed job with the
+	// number of jobs finished so far and the total. Calls are serialized
+	// and done is nondecreasing.
+	Progress func(done, total int)
+}
+
+// Run executes jobs on a worker pool and returns one JobResult per job, in
+// job-index order. Job-level errors are recorded in the results (join them
+// with JoinErrors if the caller wants all-or-nothing semantics); the
+// returned error is non-nil only when ctx was cancelled, in which case the
+// results for jobs that did complete are still returned and the rest are
+// marked Skipped.
+func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	for i := range results {
+		results[i] = JobResult{Index: i, Skipped: true}
+	}
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex // serializes the progress callback
+		done  int
+		jobCh = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				if err := ctx.Err(); err != nil {
+					// Drain without running so the feeder never blocks.
+					continue
+				}
+				job := jobs[idx]
+				ms, err := job.Run(ctx, job.Src)
+				results[idx] = JobResult{Index: idx, Measurements: ms, Err: err}
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, len(jobs))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case jobCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Skipped {
+				results[i].Err = err
+			}
+		}
+		return results, fmt.Errorf("campaign: cancelled: %w", err)
+	}
+	return results, nil
+}
+
+// JoinErrors returns the job-level errors of results joined in job-index
+// order, or nil if every job succeeded. Skipped jobs' cancellation errors
+// are included, so after a cancelled Run this is non-nil.
+func JoinErrors(results []JobResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,273 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/gossip"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// Spec declaratively describes a campaign: the full cross product of
+// Adversaries × Ns (× Ks for the k-parameterized adversaries) × Trials,
+// run toward Goal, seeded by Seed. A Spec plus its seed fully determines
+// the campaign's Outcome, independent of worker count.
+type Spec struct {
+	Name        string   `json:"name,omitempty"`
+	Adversaries []string `json:"adversaries"`
+	Ns          []int    `json:"ns"`
+	Ks          []int    `json:"ks,omitempty"` // consumed only by k-parameterized adversaries
+	Trials      int      `json:"trials"`
+	Seed        uint64   `json:"seed"`
+	Goal        string   `json:"goal,omitempty"`       // "broadcast" (default) or "gossip"
+	MaxRounds   int      `json:"max_rounds,omitempty"` // 0 = the engine default n²+1
+}
+
+// Factory builds a named adversary for one job. NeedsK marks the
+// restricted families that consume the spec's Ks axis.
+type Factory struct {
+	Name   string
+	NeedsK bool
+	New    func(n, k int, src *rng.Source) core.Adversary
+}
+
+// Registry returns the adversaries a Spec may name, in canonical order
+// (the order also fixes job compile order). The first six are the
+// portfolio of experiment.Portfolio; the last two are the Zeiner et al.
+// restricted families.
+func Registry() []Factory {
+	return []Factory{
+		{Name: "static-path", New: func(n, _ int, _ *rng.Source) core.Adversary {
+			return adversary.Static{Tree: tree.IdentityPath(n)}
+		}},
+		{Name: "random-tree", New: func(_, _ int, src *rng.Source) core.Adversary {
+			return adversary.Random{Src: src}
+		}},
+		{Name: "random-path", New: func(_, _ int, src *rng.Source) core.Adversary {
+			return adversary.RandomPath{Src: src}
+		}},
+		{Name: "ascending-path", New: func(int, int, *rng.Source) core.Adversary {
+			return adversary.AscendingPath{}
+		}},
+		{Name: "block-leader", New: func(int, int, *rng.Source) core.Adversary {
+			return adversary.BlockLeader{}
+		}},
+		{Name: "min-gain", New: func(int, int, *rng.Source) core.Adversary {
+			return adversary.MinGain{}
+		}},
+		{Name: "k-leaves", NeedsK: true, New: func(_, k int, src *rng.Source) core.Adversary {
+			return adversary.KLeaves{K: k, Src: src}
+		}},
+		{Name: "k-inner", NeedsK: true, New: func(_, k int, src *rng.Source) core.Adversary {
+			return adversary.KInner{K: k, Src: src}
+		}},
+	}
+}
+
+// Adversaries returns the registry names in canonical order.
+func Adversaries() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, f := range reg {
+		names[i] = f.Name
+	}
+	return names
+}
+
+func factoryByName(name string) (Factory, bool) {
+	for _, f := range Registry() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// CellKey is the aggregation key of one grid point. k < 0 means the
+// adversary has no k axis.
+func CellKey(adv string, n, k int) string {
+	if k < 0 {
+		return fmt.Sprintf("%s/n=%d", adv, n)
+	}
+	return fmt.Sprintf("%s/n=%d/k=%d", adv, n, k)
+}
+
+// Validate reports the first structural problem of the spec, or nil.
+func (s *Spec) Validate() error {
+	if len(s.Adversaries) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one adversary")
+	}
+	needsK := false
+	for _, name := range s.Adversaries {
+		f, ok := factoryByName(name)
+		if !ok {
+			return fmt.Errorf("campaign: unknown adversary %q (known: %v)", name, Adversaries())
+		}
+		needsK = needsK || f.NeedsK
+	}
+	if needsK && len(s.Ks) == 0 {
+		return fmt.Errorf("campaign: spec names a k-parameterized adversary but has no ks")
+	}
+	if len(s.Ns) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one n")
+	}
+	for _, n := range s.Ns {
+		if n < 1 {
+			return fmt.Errorf("campaign: n must be >= 1, got %d", n)
+		}
+	}
+	for _, k := range s.Ks {
+		if k < 1 {
+			return fmt.Errorf("campaign: k must be >= 1, got %d", k)
+		}
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("campaign: trials must be >= 1, got %d", s.Trials)
+	}
+	switch s.Goal {
+	case "", "broadcast", "gossip":
+	default:
+		return fmt.Errorf("campaign: unknown goal %q (want broadcast or gossip)", s.Goal)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("campaign: max_rounds must be >= 0, got %d", s.MaxRounds)
+	}
+	return nil
+}
+
+func (s *Spec) goal() core.Goal {
+	if s.Goal == "gossip" {
+		return core.Gossip
+	}
+	return core.Broadcast
+}
+
+// Compile validates the spec and expands its grid into jobs. The grid is
+// walked in a fixed nested order (adversary, n, k, trial) and each job's
+// random source is split from the root source at this point, so the job
+// list — including every job's stream — is a pure function of the spec.
+// Grid points where k is infeasible (k > n−1) are skipped, mirroring the
+// restricted experiments.
+func (s *Spec) Compile() ([]Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(s.Seed)
+	goal := s.goal()
+	var opts []core.Option
+	if s.MaxRounds > 0 {
+		opts = append(opts, core.WithMaxRounds(s.MaxRounds))
+	}
+	var jobs []Job
+	for _, name := range s.Adversaries {
+		f, _ := factoryByName(name)
+		ks := []int{-1}
+		if f.NeedsK {
+			ks = s.Ks
+		}
+		for _, n := range s.Ns {
+			for _, k := range ks {
+				if f.NeedsK && (k < 1 || k > n-1) {
+					continue
+				}
+				cell := CellKey(name, n, k)
+				for trial := 0; trial < s.Trials; trial++ {
+					jobs = append(jobs, Job{
+						Index: len(jobs),
+						Src:   root.Split(),
+						Run:   runGridPoint(f, n, k, cell, goal, opts),
+					})
+				}
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("campaign: spec compiles to an empty grid (every k infeasible?)")
+	}
+	return jobs, nil
+}
+
+func runGridPoint(f Factory, n, k int, cell string, goal core.Goal, opts []core.Option) func(context.Context, *rng.Source) ([]Measurement, error) {
+	return func(_ context.Context, src *rng.Source) ([]Measurement, error) {
+		adv := f.New(n, k, src)
+		var rounds int
+		var err error
+		if goal == core.Gossip {
+			rounds, err = gossip.Time(n, adv, opts...)
+		} else {
+			rounds, err = core.BroadcastTime(n, adv, opts...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", cell, err)
+		}
+		return []Measurement{{Cell: cell, Value: float64(rounds)}}, nil
+	}
+}
+
+// Outcome is the aggregated, machine-diffable result of a campaign run.
+// It deliberately carries no timestamps or host details: two runs of the
+// same spec produce byte-identical JSON regardless of worker count.
+type Outcome struct {
+	Spec      Spec        `json:"spec"`
+	Jobs      int         `json:"jobs"`
+	Completed int         `json:"completed"`
+	Failed    int         `json:"failed"`
+	Cells     []CellStats `json:"cells"`
+	Errors    []string    `json:"errors,omitempty"`
+}
+
+// RunSpec compiles and executes the spec on cfg's worker pool and
+// aggregates per-cell statistics. Job failures do not abort the campaign:
+// they are counted and recorded (in job-index order) in Outcome.Errors.
+// The returned error is non-nil only for an invalid spec or a cancelled
+// context; on cancellation the partial Outcome is still returned.
+func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
+	jobs, err := spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	results, runErr := Run(ctx, jobs, cfg)
+	out := &Outcome{Spec: spec, Jobs: len(jobs), Cells: Aggregate(results)}
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+		case r.Err != nil:
+			out.Failed++
+			out.Errors = append(out.Errors, r.Err.Error())
+		default:
+			out.Completed++
+		}
+	}
+	return out, runErr
+}
+
+// LoadSpec reads a JSON Spec from r, rejecting unknown fields so typos in
+// hand-written campaign files fail loudly.
+func LoadSpec(r io.Reader) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("campaign: decoding spec: %w", err)
+	}
+	return spec, nil
+}
+
+// LoadSpecFile reads a JSON Spec from path ("-" means stdin).
+func LoadSpecFile(path string) (Spec, error) {
+	if path == "-" {
+		return LoadSpec(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("campaign: opening spec: %w", err)
+	}
+	defer f.Close()
+	return LoadSpec(f)
+}

@@ -3,9 +3,19 @@
 // returning a renderable table. The cmd/ binaries and the root bench file
 // are thin wrappers over this package, so every number in EXPERIMENTS.md
 // can be regenerated from a single entry point.
+//
+// Since the campaign subsystem landed, every randomized trial loop runs
+// through campaign.Run on a worker pool (default GOMAXPROCS; tune with
+// WithWorkers). Results are a pure function of the seed and identical for
+// every worker count. BestMeasured, Restricted, and GossipVsBroadcast
+// additionally split their sources in the exact order the pre-campaign
+// serial loops consumed them, so those tables reproduce the old harness
+// digit for digit; Nonsplit switched from one shared stream to per-trial
+// pre-split streams (a different but equally deterministic sequence).
 package experiment
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -14,12 +24,12 @@ import (
 
 	"dyntreecast/internal/adversary"
 	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/gamesolver"
 	"dyntreecast/internal/gossip"
 	"dyntreecast/internal/graph"
 	"dyntreecast/internal/rng"
-	"dyntreecast/internal/stats"
 	"dyntreecast/internal/tree"
 )
 
@@ -104,6 +114,48 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// Option tunes how an experiment executes (never what it computes:
+// results are identical for every option combination).
+type Option func(*config)
+
+type config struct {
+	ctx     context.Context
+	workers int
+}
+
+// WithWorkers sets the campaign worker-pool size for the experiment's
+// trial loops. 0 (the default) selects GOMAXPROCS; 1 recovers the old
+// serial harness.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithContext makes the experiment cancellable: trial loops stop promptly
+// once ctx is done and the experiment returns ctx's error.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
+func buildConfig(opts []Option) config {
+	c := config{ctx: context.Background()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// runJobs executes jobs on the campaign pool and returns the per-job
+// results, failing on cancellation or on the first job error (in job
+// order, so the error is deterministic too).
+func runJobs(c config, jobs []campaign.Job) ([]campaign.JobResult, error) {
+	results, err := campaign.Run(c.ctx, jobs, campaign.Config{Workers: c.workers})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	return results, nil
+}
+
 // NamedAdversary pairs an adversary constructor with a display name.
 // Constructors take the process count and a seed-derived source so every
 // run is reproducible.
@@ -113,77 +165,100 @@ type NamedAdversary struct {
 }
 
 // Portfolio returns the standard adversary suite used across experiments:
-// the oblivious baselines and the adaptive heuristics.
+// the oblivious baselines and the adaptive heuristics. It is the
+// non-parameterized prefix of the campaign registry, in registry order.
 func Portfolio() []NamedAdversary {
-	return []NamedAdversary{
-		{"static-path", func(n int, _ *rng.Source) core.Adversary {
-			return adversary.Static{Tree: tree.IdentityPath(n)}
-		}},
-		{"random-tree", func(_ int, src *rng.Source) core.Adversary {
-			return adversary.Random{Src: src}
-		}},
-		{"random-path", func(_ int, src *rng.Source) core.Adversary {
-			return adversary.RandomPath{Src: src}
-		}},
-		{"ascending-path", func(int, *rng.Source) core.Adversary {
-			return adversary.AscendingPath{}
-		}},
-		{"block-leader", func(int, *rng.Source) core.Adversary {
-			return adversary.BlockLeader{}
-		}},
-		{"min-gain", func(int, *rng.Source) core.Adversary {
-			return adversary.MinGain{}
-		}},
+	var out []NamedAdversary
+	for _, f := range campaign.Registry() {
+		if f.NeedsK {
+			continue
+		}
+		build := f.New
+		out = append(out, NamedAdversary{Name: f.Name, New: func(n int, src *rng.Source) core.Adversary {
+			return build(n, -1, src)
+		}})
 	}
+	return out
 }
 
-// measure runs one adversary to broadcast completion.
-func measure(n int, na NamedAdversary, src *rng.Source) (int, error) {
-	t, err := core.BroadcastTime(n, na.New(n, src.Split()))
-	if err != nil {
-		return t, fmt.Errorf("experiment: %s at n=%d: %w", na.Name, n, err)
-	}
-	return t, nil
-}
-
-// BestMeasured runs the whole portfolio plus a beam search and returns
-// the largest broadcast time achieved and the name of the adversary that
-// achieved it. Every value is a certified lower-bound witness for t*(Tn).
-func BestMeasured(n int, seed uint64) (int, string, error) {
-	src := rng.New(seed)
-	best, bestName := -1, ""
+// BestMeasured runs the whole portfolio plus the search strata (beam
+// search, the exact solver where feasible, deep-line search at n = 6) as
+// one parallel campaign, and returns the largest broadcast time achieved
+// and the name of the adversary that achieved it. Every value is a
+// certified lower-bound witness for t*(Tn).
+func BestMeasured(n int, seed uint64, opts ...Option) (int, string, error) {
+	c := buildConfig(opts)
+	root := rng.New(seed)
+	var jobs []campaign.Job
+	// Portfolio jobs first, splitting the root source in portfolio order —
+	// the exact streams the serial harness consumed.
 	for _, na := range Portfolio() {
-		t, err := measure(n, na, src)
-		if err != nil {
-			return 0, "", err
-		}
-		if t > best {
-			best, bestName = t, na.Name
-		}
+		na := na
+		jobs = append(jobs, campaign.Job{
+			Index: len(jobs),
+			Src:   root.Split(),
+			Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
+				t, err := core.BroadcastTime(n, na.New(n, src))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s at n=%d: %w", na.Name, n, err)
+				}
+				return []campaign.Measurement{{Cell: na.Name, Value: float64(t)}}, nil
+			},
+		})
 	}
 	// Beam search (with general-tree proposals) usually wins; cost grows
-	// with n so keep the width moderate.
-	_, beamRounds := adversary.BeamSearch(n, adversary.BeamConfig{
-		Width: 16, RandomMoves: 6, RandomTrees: 8, Seed: seed,
+	// with n so keep the width moderate. Seeded directly, independent of
+	// the root source.
+	jobs = append(jobs, campaign.Job{
+		Index: len(jobs),
+		Run: func(context.Context, *rng.Source) ([]campaign.Measurement, error) {
+			_, beamRounds := adversary.BeamSearch(n, adversary.BeamConfig{
+				Width: 16, RandomMoves: 6, RandomTrees: 8, Seed: seed,
+			})
+			return []campaign.Measurement{{Cell: "beam-search", Value: float64(beamRounds)}}, nil
+		},
 	})
-	if beamRounds > best {
-		best, bestName = beamRounds, "beam-search"
-	}
-	// Exact game value where feasible.
+	// Exact game value where feasible (solver failures just forfeit).
 	if n <= gamesolver.MaxN {
-		if s, err := gamesolver.New(n); err == nil {
-			if v := s.Value(); v > best {
-				best, bestName = v, "exact-optimal"
-			}
-		}
+		jobs = append(jobs, campaign.Job{
+			Index: len(jobs),
+			Run: func(context.Context, *rng.Source) ([]campaign.Measurement, error) {
+				v := -1
+				if s, err := gamesolver.New(n); err == nil {
+					v = s.Value()
+				}
+				return []campaign.Measurement{{Cell: "exact-optimal", Value: float64(v)}}, nil
+			},
+		})
 	}
 	// Anytime deep-line search just past the exact range (n = 6 stays in
 	// the hundreds of milliseconds; n = 7 is seconds-to-minutes and left
 	// to cmd/exact-solver -deep).
 	if n == 6 {
-		if line, _, err := gamesolver.DeepestLine(n, 6000, 4); err == nil {
-			if v, err := core.BroadcastTime(n, adversary.Replay{Trees: line}); err == nil && v > best {
-				best, bestName = v, "deep-line"
+		jobs = append(jobs, campaign.Job{
+			Index: len(jobs),
+			Run: func(context.Context, *rng.Source) ([]campaign.Measurement, error) {
+				v := -1
+				if line, _, err := gamesolver.DeepestLine(n, 6000, 4); err == nil {
+					if t, err := core.BroadcastTime(n, adversary.Replay{Trees: line}); err == nil {
+						v = t
+					}
+				}
+				return []campaign.Measurement{{Cell: "deep-line", Value: float64(v)}}, nil
+			},
+		})
+	}
+	results, err := runJobs(c, jobs)
+	if err != nil {
+		return 0, "", err
+	}
+	// Winner selection walks results in job order with a strict >, which
+	// reproduces the serial harness's tie-breaking exactly.
+	best, bestName := -1, ""
+	for _, r := range results {
+		for _, m := range r.Measurements {
+			if int(m.Value) > best {
+				best, bestName = int(m.Value), m.Cell
 			}
 		}
 	}
@@ -194,7 +269,7 @@ func BestMeasured(n int, seed uint64) (int, string, error) {
 // over the given n values, alongside the best measured t* from our
 // adversary suite. The measured column must sit at or below the paper's
 // linear upper bound everywhere.
-func Figure1(ns []int, seed uint64) (*Table, error) {
+func Figure1(ns []int, seed uint64, opts ...Option) (*Table, error) {
 	t := &Table{
 		Title: "Figure 1: upper-bound regimes for broadcast in dynamic rooted trees",
 		Header: []string{
@@ -203,7 +278,7 @@ func Figure1(ns []int, seed uint64) (*Table, error) {
 		},
 	}
 	for _, n := range ns {
-		best, name, err := BestMeasured(n, seed)
+		best, name, err := BestMeasured(n, seed, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -220,13 +295,13 @@ func Figure1(ns []int, seed uint64) (*Table, error) {
 // best ≤ ⌈(1+√2)n−1⌉ (hard check; a violation falsifies the paper or the
 // simulator) and reports how close the measured value gets to the ZSS
 // lower bound.
-func Theorem31(ns []int, seed uint64) (*Table, error) {
+func Theorem31(ns []int, seed uint64, opts ...Option) (*Table, error) {
 	t := &Table{
 		Title:  "Theorem 3.1: lower <= t*(Tn) <= ceil((1+sqrt2)n - 1)",
 		Header: []string{"n", "lower", "measured", "upper", "measured/n", "ok"},
 	}
 	for _, n := range ns {
-		best, _, err := BestMeasured(n, seed)
+		best, _, err := BestMeasured(n, seed, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -263,34 +338,63 @@ func StaticPath(ns []int) (*Table, error) {
 
 // Restricted reproduces the Zeiner et al. restricted-adversary regimes:
 // mean broadcast time under k-leaf and k-inner random adversaries, with
-// the O(kn) bound curve for context.
-func Restricted(ns, ks []int, trials int, seed uint64) (*Table, error) {
+// the O(kn) bound curve for context. Trials fan out over the campaign
+// pool; sources split in the serial harness's (n, k, trial, leaf-then-
+// inner) order so the means match it bit for bit.
+func Restricted(ns, ks []int, trials int, seed uint64, opts ...Option) (*Table, error) {
 	t := &Table{
 		Title:  "Restricted adversaries: k leaves / k inner nodes => O(kn)",
 		Header: []string{"n", "k", "mean-t*(k-leaves)", "mean-t*(k-inner)", "bound(kn)", "upper-linear"},
 	}
-	src := rng.New(seed)
+	c := buildConfig(opts)
+	root := rng.New(seed)
+	var jobs []campaign.Job
+	addJob := func(n, k int, kind string, build func(src *rng.Source) core.Adversary) {
+		cell := campaign.CellKey(kind, n, k)
+		jobs = append(jobs, campaign.Job{
+			Index: len(jobs),
+			Src:   root.Split(),
+			Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
+				rounds, err := core.BroadcastTime(n, build(src))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s n=%d k=%d: %w", kind, n, k, err)
+				}
+				return []campaign.Measurement{{Cell: cell, Value: float64(rounds)}}, nil
+			},
+		})
+	}
 	for _, n := range ns {
 		for _, k := range ks {
 			if k < 1 || k > n-1 {
 				continue
 			}
-			var leafTimes, innerTimes []int
 			for trial := 0; trial < trials; trial++ {
-				lt, err := core.BroadcastTime(n, adversary.KLeaves{K: k, Src: src.Split()})
-				if err != nil {
-					return nil, fmt.Errorf("experiment: k-leaves n=%d k=%d: %w", n, k, err)
-				}
-				it, err := core.BroadcastTime(n, adversary.KInner{K: k, Src: src.Split()})
-				if err != nil {
-					return nil, fmt.Errorf("experiment: k-inner n=%d k=%d: %w", n, k, err)
-				}
-				leafTimes = append(leafTimes, lt)
-				innerTimes = append(innerTimes, it)
+				k := k
+				addJob(n, k, "k-leaves", func(src *rng.Source) core.Adversary {
+					return adversary.KLeaves{K: k, Src: src}
+				})
+				addJob(n, k, "k-inner", func(src *rng.Source) core.Adversary {
+					return adversary.KInner{K: k, Src: src}
+				})
 			}
-			t.AddRow(n, k,
-				stats.SummarizeInts(leafTimes).Mean,
-				stats.SummarizeInts(innerTimes).Mean,
+		}
+	}
+	results, err := runJobs(c, jobs)
+	if err != nil {
+		return nil, err
+	}
+	cells := campaign.Aggregate(results)
+	for _, n := range ns {
+		for _, k := range ks {
+			if k < 1 || k > n-1 {
+				continue
+			}
+			leaves, ok1 := campaign.CellByKey(cells, campaign.CellKey("k-leaves", n, k))
+			inner, ok2 := campaign.CellByKey(cells, campaign.CellKey("k-inner", n, k))
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("experiment: restricted n=%d k=%d produced no measurements", n, k)
+			}
+			t.AddRow(n, k, leaves.Mean, inner.Mean,
 				bounds.RestrictedLeaves(n, k), bounds.UpperLinear(n))
 		}
 	}
@@ -299,36 +403,61 @@ func Restricted(ns, ks []int, trials int, seed uint64) (*Table, error) {
 
 // Nonsplit checks the simulation lemma behind the previous best bound
 // ([1] + [9]): the product of any n−1 rooted trees is nonsplit, and
-// nonsplit graphs have tiny rooted radius.
-func Nonsplit(ns []int, trials int, seed uint64) (*Table, error) {
+// nonsplit graphs have tiny rooted radius. Each trial is one campaign job
+// drawing its n−1 trees from a private pre-split source.
+func Nonsplit(ns []int, trials int, seed uint64, opts ...Option) (*Table, error) {
 	t := &Table{
 		Title:  "Nonsplit connection: product of n-1 rooted trees is nonsplit",
 		Header: []string{"n", "trials", "nonsplit-fraction", "mean-radius", "max-radius"},
 	}
-	src := rng.New(seed)
+	c := buildConfig(opts)
+	root := rng.New(seed)
+	var jobs []campaign.Job
 	for _, n := range ns {
-		nonsplit := 0
-		var radii []int
+		n := n
+		nonsplitCell := campaign.CellKey("nonsplit", n, -1)
+		radiusCell := campaign.CellKey("radius", n, -1)
 		for trial := 0; trial < trials; trial++ {
-			trees := make([]*tree.Tree, n-1)
-			for i := range trees {
-				trees[i] = tree.Random(n, src)
-			}
-			g := graph.ProductOfTrees(trees)
-			if g.IsNonsplit() {
-				nonsplit++
-			}
-			radii = append(radii, g.Radius())
+			jobs = append(jobs, campaign.Job{
+				Index: len(jobs),
+				Src:   root.Split(),
+				Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
+					trees := make([]*tree.Tree, n-1)
+					for i := range trees {
+						trees[i] = tree.Random(n, src)
+					}
+					g := graph.ProductOfTrees(trees)
+					isNonsplit := 0.0
+					if g.IsNonsplit() {
+						isNonsplit = 1.0
+					}
+					return []campaign.Measurement{
+						{Cell: nonsplitCell, Value: isNonsplit},
+						{Cell: radiusCell, Value: float64(g.Radius())},
+					}, nil
+				},
+			})
 		}
-		sum := stats.SummarizeInts(radii)
-		t.AddRow(n, trials, float64(nonsplit)/float64(trials), sum.Mean, int(sum.Max))
+	}
+	results, err := runJobs(c, jobs)
+	if err != nil {
+		return nil, err
+	}
+	cells := campaign.Aggregate(results)
+	for _, n := range ns {
+		frac, ok1 := campaign.CellByKey(cells, campaign.CellKey("nonsplit", n, -1))
+		radius, ok2 := campaign.CellByKey(cells, campaign.CellKey("radius", n, -1))
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("experiment: nonsplit n=%d produced no measurements", n)
+		}
+		t.AddRow(n, trials, frac.Mean, radius.Mean, int(radius.Max))
 	}
 	return t, nil
 }
 
 // Exact reports the exact game values t*(Tn) for small n against the
 // bounds and against the heuristic adversaries at the same n.
-func Exact(maxN int, seed uint64) (*Table, error) {
+func Exact(maxN int, seed uint64, opts ...Option) (*Table, error) {
 	t := &Table{
 		Title:  "Exact t*(Tn) by game solving vs bounds and heuristics",
 		Header: []string{"n", "t*-exact", "lower", "upper", "states", "best-heuristic", "witness"},
@@ -342,7 +471,7 @@ func Exact(maxN int, seed uint64) (*Table, error) {
 			return nil, fmt.Errorf("experiment: exact n=%d: %w", n, err)
 		}
 		v := s.Value()
-		best, name, err := BestMeasured(n, seed)
+		best, name, err := BestMeasured(n, seed, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -353,30 +482,70 @@ func Exact(maxN int, seed uint64) (*Table, error) {
 }
 
 // GossipVsBroadcast measures gossip and broadcast completion on the same
-// random runs (E9), and demonstrates the adversarial gossip stall.
-func GossipVsBroadcast(ns []int, trials int, seed uint64) (*Table, error) {
+// random runs (E9), and demonstrates the adversarial gossip stall. Each
+// trial is one campaign job reporting both completion times.
+func GossipVsBroadcast(ns []int, trials int, seed uint64, opts ...Option) (*Table, error) {
 	t := &Table{
 		Title:  "Gossip vs broadcast under random trees (adversarial gossip is unbounded)",
 		Header: []string{"n", "mean-broadcast", "mean-gossip", "ratio", "staller-gossip"},
 	}
-	src := rng.New(seed)
+	c := buildConfig(opts)
+	root := rng.New(seed)
+	var jobs []campaign.Job
 	for _, n := range ns {
-		var bs, gs []int
+		n := n
+		bCell := campaign.CellKey("broadcast", n, -1)
+		gCell := campaign.CellKey("gossip", n, -1)
 		for trial := 0; trial < trials; trial++ {
-			b, g, err := gossip.BothTimes(n, adversary.Random{Src: src.Split()})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: gossip n=%d: %w", n, err)
-			}
-			bs = append(bs, b)
-			gs = append(gs, g)
+			jobs = append(jobs, campaign.Job{
+				Index: len(jobs),
+				Src:   root.Split(),
+				Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
+					b, g, err := gossip.BothTimes(n, adversary.Random{Src: src})
+					if err != nil {
+						return nil, fmt.Errorf("experiment: gossip n=%d: %w", n, err)
+					}
+					return []campaign.Measurement{
+						{Cell: bCell, Value: float64(b)},
+						{Cell: gCell, Value: float64(g)},
+					}, nil
+				},
+			})
 		}
-		mb := stats.SummarizeInts(bs).Mean
-		mg := stats.SummarizeInts(gs).Mean
+	}
+	results, err := runJobs(c, jobs)
+	if err != nil {
+		return nil, err
+	}
+	cells := campaign.Aggregate(results)
+	for _, n := range ns {
+		mb, ok1 := campaign.CellByKey(cells, campaign.CellKey("broadcast", n, -1))
+		mg, ok2 := campaign.CellByKey(cells, campaign.CellKey("gossip", n, -1))
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("experiment: gossip n=%d produced no measurements", n)
+		}
 		staller := "stalls"
 		if _, err := gossip.Time(n, gossip.Staller{}, core.WithMaxRounds(4*n)); err == nil {
 			staller = "completes"
 		}
-		t.AddRow(n, mb, mg, mg/mb, staller)
+		t.AddRow(n, mb.Mean, mg.Mean, mg.Mean/mb.Mean, staller)
 	}
 	return t, nil
+}
+
+// CampaignTable renders a campaign outcome as a Table: one row per cell,
+// in grid order, with the summary statistics the aggregator computed.
+func CampaignTable(o *campaign.Outcome) *Table {
+	title := "Campaign"
+	if o.Spec.Name != "" {
+		title = fmt.Sprintf("Campaign: %s", o.Spec.Name)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("%s (seed=%d, %d/%d jobs ok)", title, o.Spec.Seed, o.Completed, o.Jobs),
+		Header: []string{"cell", "count", "mean", "stddev", "min", "max", "p50", "p99"},
+	}
+	for _, c := range o.Cells {
+		t.AddRow(c.Cell, c.Count, c.Mean, c.StdDev, c.Min, c.Max, c.P50, c.P99)
+	}
+	return t
 }

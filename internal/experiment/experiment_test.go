@@ -2,9 +2,15 @@ package experiment
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+
+	"dyntreecast/internal/campaign"
 )
 
 func TestTableWriteText(t *testing.T) {
@@ -165,6 +171,76 @@ func TestExact(t *testing.T) {
 		if row[1] != want[i] {
 			t.Errorf("row %d: t* = %s, want %s", i, row[1], want[i])
 		}
+	}
+}
+
+// TestExperimentsDeterministicAcrossWorkers pins the campaign rewiring's
+// contract at the experiment layer: every randomized experiment renders
+// the identical table for worker counts 1, 4, and GOMAXPROCS.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	experiments := map[string]func(opt Option) (*Table, error){
+		"figure1": func(opt Option) (*Table, error) {
+			return Figure1([]int{2, 4, 8}, 1, opt)
+		},
+		"restricted": func(opt Option) (*Table, error) {
+			return Restricted([]int{8, 12}, []int{2, 3}, 4, 1, opt)
+		},
+		"nonsplit": func(opt Option) (*Table, error) {
+			return Nonsplit([]int{4, 6}, 8, 1, opt)
+		},
+		"gossip": func(opt Option) (*Table, error) {
+			return GossipVsBroadcast([]int{4, 8}, 6, 1, opt)
+		},
+	}
+	for name, run := range experiments {
+		t.Run(name, func(t *testing.T) {
+			var ref *Table
+			for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				tab, err := run(WithWorkers(workers))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if ref == nil {
+					ref = tab
+					continue
+				}
+				if !reflect.DeepEqual(ref, tab) {
+					t.Errorf("workers=%d table differs:\n%+v\nvs\n%+v", workers, ref, tab)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BestMeasured(8, 1, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("BestMeasured err = %v, want context.Canceled", err)
+	}
+	if _, err := Restricted([]int{8}, []int{2}, 4, 1, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Restricted err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCampaignTable(t *testing.T) {
+	o, err := campaign.RunSpec(context.Background(), campaign.Spec{
+		Name:        "demo",
+		Adversaries: []string{"static-path"},
+		Ns:          []int{8},
+		Trials:      3,
+		Seed:        1,
+	}, campaign.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := CampaignTable(o)
+	if !strings.Contains(tab.Title, "demo") || len(tab.Rows) != 1 {
+		t.Fatalf("campaign table wrong: %+v", tab)
+	}
+	// Static path on n=8 always takes 7 rounds.
+	if tab.Rows[0][0] != "static-path/n=8" || tab.Rows[0][2] != "7.00" {
+		t.Errorf("row = %v", tab.Rows[0])
 	}
 }
 
