@@ -19,6 +19,15 @@
 //
 // Interrupting the run (SIGINT/SIGTERM) cancels the pool promptly; the
 // aggregate of the jobs that did finish is still written.
+//
+// Two flags wire in the campaign service layer (DESIGN.md §3b):
+// -checkpoint FILE records completed jobs as they land, and a rerun with
+// the same spec and checkpoint resumes where the interrupted run stopped
+// — the final artifact is byte-identical to an uninterrupted run.
+// -cache DIR keeps a content-addressed store of finished grid cells, so
+// re-running overlapping grids recomputes only the new cells:
+//
+//	campaign -spec sweep.json -checkpoint sweep.ckpt -cache ~/.dyntreecast-cells -format json
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"syscall"
 
 	"dyntreecast/internal/campaign"
+	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/experiment"
 )
 
@@ -59,6 +69,8 @@ func run(args []string) error {
 		format   = fs.String("format", "table", "output: table, csv, json, jsonl")
 		outPath  = fs.String("out", "", "write output to this file instead of stdout")
 		progress = fs.Bool("progress", false, "print job progress to stderr")
+		ckptPath = fs.String("checkpoint", "", "checkpoint completed jobs to this file; an existing matching checkpoint is resumed")
+		cacheDir = fs.String("cache", "", "content-addressed cell cache directory; overlapping grids reuse finished cells")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +121,28 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *cacheDir != "" {
+		c, err := cache.NewDir(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = c
+	}
+	if *ckptPath != "" {
+		cf, err := campaign.OpenCheckpointFile(*ckptPath, spec)
+		if err != nil {
+			return err
+		}
+		if n := len(cf.Completed); n > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: resuming %d completed jobs from %s\n", n, *ckptPath)
+		}
+		cfg = cf.Wire(cfg)
+		defer func() {
+			if err := cf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign:", err)
+			}
+		}()
+	}
 	outcome, runErr := campaign.RunSpec(ctx, spec, cfg)
 	if outcome == nil {
 		return runErr
@@ -116,6 +150,10 @@ func run(args []string) error {
 	if runErr != nil {
 		// Cancelled: report, but still write the partial aggregate.
 		fmt.Fprintln(os.Stderr, "campaign:", runErr)
+	}
+	if *cacheDir != "" || *ckptPath != "" {
+		fmt.Fprintf(os.Stderr, "campaign: %d jobs executed, %d from cache, %d from checkpoint\n",
+			outcome.Executed, outcome.CacheHits, outcome.Reused)
 	}
 
 	w := io.Writer(os.Stdout)

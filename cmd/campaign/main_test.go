@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyntreecast/internal/campaign"
+)
+
+func TestRunSpecFileJSON(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	outPath := filepath.Join(dir, "artifact.json")
+	specJSON := `{"name":"smoke","adversaries":["static-path"],"ns":[8,16],"trials":2,"seed":1}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", specPath, "-format", "json", "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o campaign.Outcome
+	if err := json.Unmarshal(data, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Spec.Name != "smoke" || o.Jobs != 4 || o.Completed != 4 || o.Failed != 0 {
+		t.Errorf("artifact wrong: %+v", o)
+	}
+	// Deterministic cells: the static path takes exactly n−1 rounds.
+	if len(o.Cells) != 2 || o.Cells[0].Mean != 7 || o.Cells[1].Mean != 15 {
+		t.Errorf("cells wrong: %+v", o.Cells)
+	}
+}
+
+func TestRunGridFlags(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	err := run([]string{"-adversaries", "static-path,ascending-path", "-ns", "8",
+		"-trials", "2", "-seed", "3", "-format", "csv", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static-path/n=8", "ascending-path/n=8"} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("CSV missing cell %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":      {"-no-such-flag"},
+		"unknown adversary": {"-adversaries", "omniscient"},
+		"bad ns":            {"-ns", "eight"},
+		"bad ks":            {"-adversaries", "k-leaves", "-ns", "8", "-ks", "two"},
+		"unknown format":    {"-format", "yaml"},
+		"unknown goal":      {"-goal", "multicast"},
+		"missing spec file": {"-spec", filepath.Join(t.TempDir(), "nope.json")},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}
+
+func TestRunBadSpecFile(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(specPath, []byte(`{"adversaries":["random-tree"],"workerz":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-spec", specPath})
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown spec field accepted: %v", err)
+	}
+}
+
+// TestCheckpointFlag: a completed checkpointed run leaves a full
+// checkpoint, and a rerun against it reuses every job and writes a
+// byte-identical artifact.
+func TestCheckpointFlag(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	out1 := filepath.Join(dir, "a1.json")
+	out2 := filepath.Join(dir, "a2.json")
+	args := []string{"-adversaries", "random-tree", "-ns", "8,16", "-trials", "3",
+		"-seed", "5", "-format", "json", "-checkpoint", ckpt}
+
+	if err := run(append(args, "-out", out1)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := campaign.LoadCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Results) != 6 {
+		t.Errorf("checkpoint holds %d jobs, want 6", len(cp.Results))
+	}
+
+	if err := run(append(args, "-out", out2)); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1, a2) {
+		t.Error("resumed artifact differs from original")
+	}
+}
+
+// TestCheckpointFlagRejectsForeignSpec: pointing -checkpoint at another
+// spec's file must fail loudly instead of corrupting it.
+func TestCheckpointFlagRejectsForeignSpec(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	if err := run([]string{"-adversaries", "random-tree", "-ns", "8", "-trials", "2",
+		"-checkpoint", ckpt, "-out", filepath.Join(dir, "a.json"), "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-adversaries", "random-tree", "-ns", "8", "-trials", "2",
+		"-seed", "99", "-checkpoint", ckpt, "-out", filepath.Join(dir, "b.json"), "-format", "json"})
+	if err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+// TestCacheFlag: a cache-assisted run of a grown grid produces the same
+// artifact as a cache-free run.
+func TestCacheFlag(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cells")
+	small := []string{"-adversaries", "random-tree", "-ns", "8", "-trials", "3",
+		"-seed", "7", "-format", "json", "-cache", cacheDir}
+	if err := run(append(small, "-out", filepath.Join(dir, "small.json"))); err != nil {
+		t.Fatal(err)
+	}
+
+	grown := []string{"-adversaries", "random-tree", "-ns", "8,16", "-trials", "3",
+		"-seed", "7", "-format", "json"}
+	warmOut := filepath.Join(dir, "warm.json")
+	coldOut := filepath.Join(dir, "cold.json")
+	if err := run(append(grown, "-cache", cacheDir, "-out", warmOut)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(grown, "-out", coldOut)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(warmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := os.ReadFile(coldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Error("cache-assisted artifact differs from cache-free artifact")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	got, err := parseInts(" 8, 16 ,32")
+	if err != nil || !reflect.DeepEqual(got, []int{8, 16, 32}) {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("8,x"); err == nil {
+		t.Error("parseInts accepted garbage")
+	}
+	if got := splitNames(" a ,, b "); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("splitNames = %v", got)
+	}
+}

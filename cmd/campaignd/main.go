@@ -1,0 +1,129 @@
+// Command campaignd serves experiment campaigns over HTTP: submit a
+// declarative spec, watch per-cell results stream in, and fetch the
+// aggregated artifact — the service layer over the parallel campaign
+// runner (see internal/server for the endpoint contract and README.md
+// "Serving campaigns" for curl examples).
+//
+//	campaignd -addr :8080 -checkpoint-dir ./ckpt -cache ./cellcache
+//
+// Campaign results are pure functions of their specs, so the daemon is
+// free to cache cells across submissions (-cache) and to checkpoint
+// in-flight campaigns (-checkpoint-dir). On SIGINT/SIGTERM it stops
+// accepting work, drains open requests, cancels running campaigns after
+// flushing their checkpoints, and exits; resubmitting an interrupted
+// spec — to this daemon or a later one sharing the checkpoint directory —
+// resumes where it stopped and produces the same artifact an
+// uninterrupted run would have.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed flag set, split out so tests can cover parsing
+// without binding sockets.
+type options struct {
+	addr          string
+	workers       int
+	checkpointDir string
+	cacheDir      string
+	drainTimeout  time.Duration
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.workers, "workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "checkpoint campaigns to this directory (enables resume)")
+	fs.StringVar(&o.cacheDir, "cache", "", "content-addressed cell cache directory shared across campaigns")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+// build turns parsed options into a campaign server (creating cache and
+// checkpoint directories as needed).
+func build(o options, logf func(string, ...any)) (*server.Server, error) {
+	opts := server.Options{Workers: o.workers, CheckpointDir: o.checkpointDir, Logf: logf}
+	if o.checkpointDir != "" {
+		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("creating -checkpoint-dir: %w", err)
+		}
+	}
+	if o.cacheDir != "" {
+		c, err := cache.NewDir(o.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = c
+	}
+	return server.New(opts), nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "campaignd: ", log.LstdFlags)
+	srv, err := build(o, logger.Printf)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", o.addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down (budget %s)", o.drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	// Stop the campaign engine first: cancelling campaigns flushes their
+	// checkpoints and terminates open /stream responses, which lets the
+	// HTTP drain below complete instead of waiting on live streams.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-workers", "3",
+		"-checkpoint-dir", "ck", "-cache", "cc", "-drain-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:0" || o.workers != 3 || o.checkpointDir != "ck" ||
+		o.cacheDir != "cc" || o.drainTimeout != 5*time.Second {
+		t.Errorf("parsed options wrong: %+v", o)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.workers != 0 || o.checkpointDir != "" || o.cacheDir != "" {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-workers", "many"},
+		{"stray-positional"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) succeeded", args)
+		}
+	}
+}
+
+func TestBuildCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		checkpointDir: filepath.Join(dir, "ckpt"),
+		cacheDir:      filepath.Join(dir, "cells"),
+	}
+	srv, err := build(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("nil server")
+	}
+	for _, d := range []string{o.checkpointDir, o.cacheDir} {
+		if st, err := os.Stat(d); err != nil || !st.IsDir() {
+			t.Errorf("%s not created: %v", d, err)
+		}
+	}
+}

@@ -28,10 +28,13 @@ package dyntreecast
 
 import (
 	"context"
+	"fmt"
+	"os"
 
 	"dyntreecast/internal/adversary"
 	"dyntreecast/internal/bounds"
 	"dyntreecast/internal/campaign"
+	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/consensus"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/gamesolver"
@@ -291,12 +294,100 @@ type CampaignOutcome = campaign.Outcome
 // CampaignCell is one aggregated grid point of a campaign.
 type CampaignCell = campaign.CellStats
 
+// CampaignCacheStore is a content-addressed store of finished campaign
+// cells (adversary × n × k grid points). Results are keyed by everything
+// that determines them — the spec seed, cell coordinates, goal, round
+// budget, trial count, and engine version — so a hit is always
+// byte-identical to a recomputation.
+type CampaignCacheStore = cache.Cache
+
+// NewMemoryCampaignCache returns an in-process cell cache, useful for
+// repeated overlapping campaigns inside one program (and for tests).
+func NewMemoryCampaignCache() CampaignCacheStore { return cache.NewMemory() }
+
+// NewDirCampaignCache returns a filesystem cell cache rooted at dir
+// (created if needed). It persists across processes and is safe for
+// concurrent use, including by several campaigns at once.
+func NewDirCampaignCache(dir string) (CampaignCacheStore, error) { return cache.NewDir(dir) }
+
+// CampaignOption tunes RunCampaign and ResumeCampaign.
+type CampaignOption func(*campaignSettings)
+
+type campaignSettings struct {
+	cfg            campaign.Config
+	checkpointPath string
+}
+
+// CampaignWithCache serves cells already present in store instead of
+// recomputing them, and stores freshly computed cells. Overlapping grids
+// recompute only their new cells; artifacts are unchanged either way.
+func CampaignWithCache(store CampaignCacheStore) CampaignOption {
+	return func(s *campaignSettings) { s.cfg.Cache = store }
+}
+
+// CampaignWithCheckpoint records completed jobs to the JSONL file at path
+// as they finish. If path already holds a checkpoint of the same spec,
+// the run resumes it: completed jobs are reused and only the remainder is
+// executed, with the final artifact byte-identical to an uninterrupted
+// run. A checkpoint of a different spec is an error.
+func CampaignWithCheckpoint(path string) CampaignOption {
+	return func(s *campaignSettings) { s.checkpointPath = path }
+}
+
+// CampaignWithProgress reports (done, total) after every completed job;
+// calls are serialized.
+func CampaignWithProgress(fn func(done, total int)) CampaignOption {
+	return func(s *campaignSettings) { s.cfg.Progress = fn }
+}
+
+func runCampaign(ctx context.Context, spec Campaign, workers int, opts []CampaignOption) (*CampaignOutcome, error) {
+	s := campaignSettings{cfg: campaign.Config{Workers: workers}}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if s.checkpointPath == "" {
+		return campaign.RunSpec(ctx, spec, s.cfg)
+	}
+	cf, err := campaign.OpenCheckpointFile(s.checkpointPath, spec)
+	if err != nil {
+		return nil, err
+	}
+	outcome, runErr := campaign.RunSpec(ctx, spec, cf.Wire(s.cfg))
+	if err := cf.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return outcome, runErr
+}
+
 // RunCampaign compiles spec into per-trial jobs with deterministically
 // pre-split random sources and executes them on a worker pool (workers
 // <= 0 selects GOMAXPROCS). The outcome is bit-identical for any worker
-// count. Cancel ctx to stop early; the partial outcome is still returned.
-func RunCampaign(ctx context.Context, spec Campaign, workers int) (*CampaignOutcome, error) {
-	return campaign.RunSpec(ctx, spec, campaign.Config{Workers: workers})
+// count — and, because each grid cell's random streams are derived from
+// the seed and the cell's own coordinates alone, identical cells of
+// different campaigns agree too, which is what makes the cell cache and
+// checkpoint options sound. Cancel ctx to stop early; the partial
+// outcome is still returned.
+func RunCampaign(ctx context.Context, spec Campaign, workers int, opts ...CampaignOption) (*CampaignOutcome, error) {
+	return runCampaign(ctx, spec, workers, opts)
+}
+
+// ResumeCampaign continues an interrupted campaign from the checkpoint
+// file at path (written by CampaignWithCheckpoint, cmd/campaign
+// -checkpoint, or campaignd's graceful shutdown). The checkpoint must
+// belong to spec; completed jobs are reused, the rest are executed, new
+// results are appended to the checkpoint, and the outcome — including
+// its JSON artifact — is byte-identical to an uninterrupted run.
+// Outcome.Reused reports how many jobs the checkpoint supplied.
+func ResumeCampaign(ctx context.Context, spec Campaign, path string, workers int, opts ...CampaignOption) (*CampaignOutcome, error) {
+	// Resuming requires an existing checkpoint; the open below parses and
+	// validates it exactly once.
+	if st, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("dyntreecast: no checkpoint to resume: %w", err)
+	} else if st.Size() == 0 {
+		return nil, fmt.Errorf("dyntreecast: checkpoint %s is empty", path)
+	}
+	opts = append(opts, CampaignWithCheckpoint(path))
+	return runCampaign(ctx, spec, workers, opts)
 }
 
 // CampaignAdversaries lists the adversary names a Campaign may reference,

@@ -1,7 +1,10 @@
 package dyntreecast_test
 
 import (
+	"context"
 	"errors"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"dyntreecast"
@@ -293,5 +296,39 @@ func TestDeepSearchSchedulePublicAPI(t *testing.T) {
 	}
 	if _, _, err := dyntreecast.DeepSearchSchedule(20, 100, 4); err == nil {
 		t.Error("n=20 accepted")
+	}
+}
+
+func TestRunCampaignCacheOption(t *testing.T) {
+	spec := dyntreecast.Campaign{
+		Adversaries: []string{"random-tree", "random-path"},
+		Ns:          []int{8, 16},
+		Trials:      4,
+		Seed:        6,
+	}
+	store := dyntreecast.NewMemoryCampaignCache()
+	cold, err := dyntreecast.RunCampaign(context.Background(), spec, 2,
+		dyntreecast.CampaignWithCache(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := dyntreecast.RunCampaign(context.Background(), spec, 2,
+		dyntreecast.CampaignWithCache(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != warm.Jobs || warm.Executed != 0 {
+		t.Errorf("warm run hits/executed = %d/%d, want %d/0", warm.CacheHits, warm.Executed, warm.Jobs)
+	}
+	if !reflect.DeepEqual(cold.Cells, warm.Cells) {
+		t.Error("cached campaign served different aggregates")
+	}
+}
+
+func TestResumeCampaignRequiresCheckpoint(t *testing.T) {
+	spec := dyntreecast.Campaign{Adversaries: []string{"random-tree"}, Ns: []int{8}, Trials: 2, Seed: 1}
+	missing := filepath.Join(t.TempDir(), "none.ckpt")
+	if _, err := dyntreecast.ResumeCampaign(context.Background(), spec, missing, 1); err == nil {
+		t.Error("ResumeCampaign succeeded without a checkpoint")
 	}
 }

@@ -19,6 +19,12 @@
 // All adversaries are deterministic given their inputs (random ones take an
 // explicit rng.Source), so every experiment in this repository reproduces
 // bit-for-bit from seeds.
+//
+// Paper anchors: the portfolio feeds the best-measured curves of Figure 1
+// (experiment E1) and the Theorem 3.1 sandwich checks (E2); the static
+// path realizes the §2 equality t* = n−1 (E3); KLeaves/KInner reproduce
+// the Zeiner et al. restricted regimes (E5); and the adaptive heuristics
+// drive the matrix-evolution traces of E8.
 package adversary
 
 import (

@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const key1 = "0123456789abcdef0123456789abcdef"
+
+func backends(t *testing.T) map[string]Cache {
+	t.Helper()
+	dir, err := NewDir(filepath.Join(t.TempDir(), "cells"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Cache{"memory": NewMemory(), "dir": dir}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := c.Get(key1); ok || err != nil {
+				t.Fatalf("fresh cache: ok=%v err=%v", ok, err)
+			}
+			want := []byte(`{"cell":"x","trials":[[1]]}`)
+			if err := c.Put(key1, want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := c.Get(key1)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Get = %q, %v, %v; want %q", got, ok, err, want)
+			}
+			// Overwrite is allowed and last-write-wins.
+			want2 := []byte("rewritten")
+			if err := c.Put(key1, want2); err != nil {
+				t.Fatal(err)
+			}
+			if got, _, _ := c.Get(key1); !bytes.Equal(got, want2) {
+				t.Fatalf("after overwrite Get = %q", got)
+			}
+		})
+	}
+}
+
+func TestDirRejectsNonDigestKeys(t *testing.T) {
+	c, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../../../etc/passwd", strings.Repeat("z", 32), strings.Repeat("A", 32)} {
+		if err := c.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+		if _, _, err := c.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted", key)
+		}
+	}
+}
+
+func TestDirSurvivesReopen(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "cells")
+	c1, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(key1, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c2.Get(key1)
+	if err != nil || !ok || string(got) != "persisted" {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestDirLeavesNoTempFiles(t *testing.T) {
+	root := t.TempDir()
+	c, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var stray []string
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.Contains(info.Name(), ".tmp") {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if len(stray) != 0 {
+		t.Errorf("temp files left behind: %v", stray)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					key := fmt.Sprintf("%032x", g)
+					want := []byte(fmt.Sprintf("entry-%d", g))
+					for i := 0; i < 50; i++ {
+						if err := c.Put(key, want); err != nil {
+							t.Error(err)
+							return
+						}
+						got, ok, err := c.Get(key)
+						if err != nil || !ok || !bytes.Equal(got, want) {
+							t.Errorf("goroutine %d: Get = %q, %v, %v", g, got, ok, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

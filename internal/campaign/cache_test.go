@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dyntreecast/internal/campaign/cache"
+)
+
+// TestCacheWarmRunRecomputesNothing: a second run of the same spec against
+// the same cache executes zero jobs and still produces a byte-identical
+// artifact.
+func TestCacheWarmRunRecomputesNothing(t *testing.T) {
+	spec := detSpec()
+	c := cache.NewMemory()
+
+	cold, err := RunSpec(context.Background(), spec, Config{Workers: 2, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 || cold.Executed != cold.Jobs {
+		t.Fatalf("cold run: hits/executed = %d/%d, want 0/%d", cold.CacheHits, cold.Executed, cold.Jobs)
+	}
+
+	warm, err := RunSpec(context.Background(), spec, Config{Workers: 2, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != warm.Jobs || warm.Executed != 0 {
+		t.Fatalf("warm run: hits/executed = %d/%d, want %d/0", warm.CacheHits, warm.Executed, warm.Jobs)
+	}
+	if !bytes.Equal(artifactBytes(t, cold), artifactBytes(t, warm)) {
+		t.Error("warm artifact differs from cold artifact")
+	}
+}
+
+// TestCacheOverlappingGridRecomputesOnlyNewCells is the content-addressing
+// guarantee: growing a grid recomputes only the genuinely new cells, and
+// the enlarged campaign's artifact is byte-identical to a cache-free run.
+func TestCacheOverlappingGridRecomputesOnlyNewCells(t *testing.T) {
+	small := Spec{
+		Adversaries: []string{"random-tree", "random-path"},
+		Ns:          []int{8, 16},
+		Trials:      5,
+		Seed:        42,
+	}
+	big := small
+	big.Ns = []int{8, 16, 24} // one new n per adversary
+	big.Adversaries = append([]string{}, small.Adversaries...)
+	big.Adversaries = append(big.Adversaries, "ascending-path") // one new adversary
+
+	c := cache.NewMemory()
+	if _, err := RunSpec(context.Background(), small, Config{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := RunSpec(context.Background(), big, Config{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared cells: 2 adversaries × 2 ns × 5 trials = 20 jobs from cache;
+	// new cells: 2 adversaries × 1 n + 1 adversary × 3 ns = 5 cells = 25 jobs.
+	if warm.CacheHits != 20 {
+		t.Errorf("cache hits = %d, want 20 (the overlapping cells)", warm.CacheHits)
+	}
+	if warm.Executed != 25 {
+		t.Errorf("executed = %d, want 25 (only the new cells)", warm.Executed)
+	}
+
+	cacheFree, err := RunSpec(context.Background(), big, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(artifactBytes(t, warm), artifactBytes(t, cacheFree)) {
+		t.Error("cache-assisted artifact differs from cache-free artifact")
+	}
+}
+
+// TestCellStreamsArePositionIndependent pins the property the cache rests
+// on: a cell's results depend only on the campaign seed and the cell's own
+// coordinates, not on where the cell sits in the grid.
+func TestCellStreamsArePositionIndependent(t *testing.T) {
+	alone := Spec{Adversaries: []string{"random-path"}, Ns: []int{16}, Trials: 6, Seed: 9}
+	crowded := Spec{
+		Adversaries: []string{"random-tree", "random-path"},
+		Ns:          []int{8, 16, 32},
+		Trials:      6,
+		Seed:        9,
+	}
+	a, err := RunSpec(context.Background(), alone, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec(context.Background(), crowded, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellKey("random-path", 16, -1)
+	ca, ok := CellByKey(a.Cells, key)
+	if !ok {
+		t.Fatal("cell missing from lone run")
+	}
+	cb, ok := CellByKey(b.Cells, key)
+	if !ok {
+		t.Fatal("cell missing from crowded run")
+	}
+	if ca != cb {
+		t.Errorf("cell stats depend on grid position:\n%+v\nvs\n%+v", ca, cb)
+	}
+}
+
+// TestCacheIgnoresCorruptEntries: a torn or foreign cache entry is
+// recomputed, not served.
+func TestCacheIgnoresCorruptEntries(t *testing.T) {
+	spec := Spec{Adversaries: []string{"random-path"}, Ns: []int{8}, Trials: 3, Seed: 4}
+	c := cache.NewMemory()
+	clean, err := RunSpec(context.Background(), spec, Config{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := spec.cellCacheKey("random-path", 8, -1)
+	if err := c.Put(key, []byte("{torn")); err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunSpec(context.Background(), spec, Config{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != 0 || again.Executed != again.Jobs {
+		t.Errorf("corrupt entry served: hits/executed = %d/%d", again.CacheHits, again.Executed)
+	}
+	if !bytes.Equal(artifactBytes(t, clean), artifactBytes(t, again)) {
+		t.Error("recomputed artifact differs")
+	}
+	// The recomputation must have repaired the entry.
+	repaired, err := RunSpec(context.Background(), spec, Config{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.CacheHits != repaired.Jobs {
+		t.Errorf("entry not repaired: hits = %d, want %d", repaired.CacheHits, repaired.Jobs)
+	}
+}
+
+// TestCacheKeySensitivity: every determinant of a cell's results changes
+// its content address.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Spec{Adversaries: []string{"random-tree"}, Ns: []int{8}, Trials: 3, Seed: 1}
+	key := base.cellCacheKey("random-tree", 8, -1)
+	mutations := map[string]func(*Spec){
+		"seed":       func(s *Spec) { s.Seed++ },
+		"trials":     func(s *Spec) { s.Trials++ },
+		"goal":       func(s *Spec) { s.Goal = "gossip" },
+		"max_rounds": func(s *Spec) { s.MaxRounds = 500 },
+	}
+	for name, mutate := range mutations {
+		spec := base
+		mutate(&spec)
+		if spec.cellCacheKey("random-tree", 8, -1) == key {
+			t.Errorf("cache key insensitive to %s", name)
+		}
+	}
+	if base.cellCacheKey("random-tree", 8, 2) == key {
+		t.Error("cache key insensitive to k")
+	}
+	if base.cellCacheKey("random-tree", 16, -1) == key {
+		t.Error("cache key insensitive to n")
+	}
+	if base.cellCacheKey("random-path", 8, -1) == key {
+		t.Error("cache key insensitive to adversary")
+	}
+	// Name is presentation, not physics: it must NOT change the address.
+	named := base
+	named.Name = "presentation-only"
+	if named.cellCacheKey("random-tree", 8, -1) != key {
+		t.Error("cache key depends on the campaign name")
+	}
+}
+
+// BenchmarkCampaignCacheColdWarm measures the cell cache's effect: the
+// cold path computes every cell, the warm path replays them from the
+// store. The reported cold/warm ratio is the speedup.
+func BenchmarkCampaignCacheColdWarm(b *testing.B) {
+	spec := Spec{
+		Name:        "cache-bench",
+		Adversaries: []string{"random-tree", "random-path"},
+		Ns:          []int{32, 64},
+		Trials:      25,
+		Seed:        1,
+	}
+	run := func(c cache.Cache) error {
+		o, err := RunSpec(context.Background(), spec, Config{Cache: c})
+		if err == nil && o.Failed != 0 {
+			err = fmt.Errorf("%d jobs failed", o.Failed)
+		}
+		return err
+	}
+	shared := cache.NewMemory()
+	if err := run(shared); err != nil { // prime the warm path
+		b.Fatal(err)
+	}
+	var coldTotal, warmTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := run(cache.NewMemory()); err != nil { // fresh cache: all misses
+			b.Fatal(err)
+		}
+		coldTotal += time.Since(start)
+		start = time.Now()
+		if err := run(shared); err != nil { // primed cache: all hits
+			b.Fatal(err)
+		}
+		warmTotal += time.Since(start)
+	}
+	coldNs := float64(coldTotal.Nanoseconds()) / float64(b.N)
+	warmNs := float64(warmTotal.Nanoseconds()) / float64(b.N)
+	b.ReportMetric(coldNs/1e6, "cold-ms/op")
+	b.ReportMetric(warmNs/1e6, "warm-ms/op")
+	if warmNs > 0 {
+		b.ReportMetric(coldNs/warmNs, "cold/warm-speedup")
+	}
+}

@@ -8,15 +8,27 @@
 // of the worker count and of goroutine scheduling. Two mechanisms enforce
 // it:
 //
-//   - Every job owns a private rng.Source, split from the campaign's root
-//     source serially at compile time, in job-index order. Workers never
-//     share a generator, so execution order cannot perturb any stream.
+//   - Every job owns a private rng.Source, pre-split at compile time.
+//     Spec.Compile derives each grid cell's streams content-addressed —
+//     from a hash of the campaign seed and the cell's own coordinates —
+//     and splits per-trial sources serially in trial order, so a cell's
+//     results do not even depend on what else the grid contains. Workers
+//     never share a generator, so execution order cannot perturb any
+//     stream.
 //   - Results land in a slice indexed by job index (disjoint writes, no
 //     locks), and aggregation walks that slice in index order. Scheduling
 //     can reorder execution but never observation.
 //
+// On top of the runner sits the campaign service layer (DESIGN.md §3b):
+// checkpoint/resume (checkpoint.go) snapshots completed jobs to a JSONL
+// file and ResumeSpec continues an interrupted campaign to a byte-identical
+// artifact, and the content-addressed cell cache (Config.Cache, backed by
+// the cache subpackage) lets overlapping grids reuse previously computed
+// cells. Both are sound only because of the determinism contract above.
+//
 // The experiment package routes its trial loops through Run, the
-// cmd/campaign binary drives RunSpec from a JSON spec, and the root
+// cmd/campaign binary drives RunSpec from a JSON spec, cmd/campaignd
+// serves campaigns over HTTP via internal/server, and the root
 // dyntreecast package re-exports Spec/RunSpec as Campaign/RunCampaign.
 package campaign
 
@@ -27,15 +39,17 @@ import (
 	"runtime"
 	"sync"
 
+	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/rng"
 )
 
 // Measurement is one named scalar produced by a job. Jobs that observe
 // several quantities on a single run (e.g. broadcast and gossip completion
-// of the same schedule) emit one Measurement per quantity.
+// of the same schedule) emit one Measurement per quantity. The JSON form
+// is the unit of the checkpoint and cache formats.
 type Measurement struct {
-	Cell  string  // aggregation key; jobs sharing a cell are pooled
-	Value float64 // the observed quantity (usually a round count)
+	Cell  string  `json:"cell"`  // aggregation key; jobs sharing a cell are pooled
+	Value float64 `json:"value"` // the observed quantity (usually a round count)
 }
 
 // Job is one unit of work: typically a single simulated run of one grid
@@ -44,6 +58,7 @@ type Measurement struct {
 // affecting results.
 type Job struct {
 	Index int         // position in compile order; doubles as the result slot
+	Cell  string      // aggregation cell (set by Spec.Compile; "" for ad-hoc jobs)
 	Src   *rng.Source // private generator, pre-split at compile time
 	Run   func(ctx context.Context, src *rng.Source) ([]Measurement, error)
 }
@@ -62,8 +77,28 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, is called after every completed job with the
 	// number of jobs finished so far and the total. Calls are serialized
-	// and done is nondecreasing.
+	// and done is nondecreasing. Jobs reused from Completed count toward
+	// the initial done value but trigger no call.
 	Progress func(done, total int)
+	// OnResult, when non-nil, is called with every result produced by the
+	// pool, in completion order (not job-index order). Calls are
+	// serialized with each other and with Progress. Results reused from
+	// Completed or from the cache are not replayed — OnResult observes
+	// only fresh work, which is exactly what checkpointing and streaming
+	// need.
+	OnResult func(JobResult)
+	// Completed maps job index → already-known result, typically loaded
+	// from a checkpoint. These jobs are not executed; their results are
+	// spliced into the result slice as-is (with Index and Skipped
+	// normalized), which preserves byte-identical aggregation because
+	// results are observed in index order regardless of provenance.
+	Completed map[int]JobResult
+	// Cache, when non-nil, is the content-addressed cell store consulted
+	// by RunSpec: a cell whose key (spec seed, adversary, n, k, goal,
+	// round budget, trial count, engine version) is present is not
+	// recomputed, and freshly computed cells are stored on completion.
+	// Ignored by Run, which has no cell structure.
+	Cache cache.Cache
 }
 
 // Run executes jobs on a worker pool and returns one JobResult per job, in
@@ -84,14 +119,23 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
 	for i := range results {
 		results[i] = JobResult{Index: i, Skipped: true}
 	}
+	reused := 0
+	for idx, r := range cfg.Completed {
+		if idx < 0 || idx >= len(jobs) {
+			continue
+		}
+		r.Index, r.Skipped = idx, false
+		results[idx] = r
+		reused++
+	}
 	if len(jobs) == 0 {
 		return results, ctx.Err()
 	}
 
 	var (
 		wg    sync.WaitGroup
-		mu    sync.Mutex // serializes the progress callback
-		done  int
+		mu    sync.Mutex // serializes the progress + result callbacks
+		done  = reused
 		jobCh = make(chan int)
 	)
 	for w := 0; w < workers; w++ {
@@ -106,10 +150,15 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
 				job := jobs[idx]
 				ms, err := job.Run(ctx, job.Src)
 				results[idx] = JobResult{Index: idx, Measurements: ms, Err: err}
-				if cfg.Progress != nil {
+				if cfg.Progress != nil || cfg.OnResult != nil {
 					mu.Lock()
+					if cfg.OnResult != nil {
+						cfg.OnResult(results[idx])
+					}
 					done++
-					cfg.Progress(done, len(jobs))
+					if cfg.Progress != nil {
+						cfg.Progress(done, len(jobs))
+					}
 					mu.Unlock()
 				}
 			}
@@ -117,6 +166,9 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
 	}
 feed:
 	for i := range jobs {
+		if !results[i].Skipped {
+			continue // reused from cfg.Completed; nothing to execute
+		}
 		select {
 		case jobCh <- i:
 		case <-ctx.Done():

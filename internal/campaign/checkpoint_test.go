@@ -1,0 +1,237 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func artifactBytes(t *testing.T, o *Outcome) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestKillAndResumeByteIdentity is the headline guarantee of the
+// checkpoint layer: interrupt a campaign mid-run, resume from its
+// checkpoint, and the resulting artifact is byte-identical to an
+// uninterrupted run — for several worker counts on both sides.
+func TestKillAndResumeByteIdentity(t *testing.T) {
+	spec := detSpec()
+	uninterrupted, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifactBytes(t, uninterrupted)
+
+	for _, workers := range []int{1, 4} {
+		for _, resumeWorkers := range []int{1, 3} {
+			// Phase 1: run with a checkpoint attached and "kill" the
+			// campaign (cancel its context) after a handful of results.
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			cf, err := OpenCheckpointFile(path, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			seen := 0
+			cfg := cf.Wire(Config{Workers: workers, OnResult: func(JobResult) {
+				if seen++; seen == 5 {
+					cancel()
+				}
+			}})
+			partial, runErr := RunSpec(ctx, spec, cfg)
+			cancel()
+			if runErr == nil {
+				t.Fatalf("workers=%d: interrupted run reported no error", workers)
+			}
+			if err := cf.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if partial.Completed == 0 || partial.Completed == partial.Jobs {
+				t.Fatalf("workers=%d: interruption not mid-run: %d/%d jobs",
+					workers, partial.Completed, partial.Jobs)
+			}
+
+			// Phase 2: resume from the checkpoint in a fresh "process".
+			cp, err := LoadCheckpointFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cp.Results) == 0 {
+				t.Fatalf("workers=%d: checkpoint recorded nothing", workers)
+			}
+			resumed, err := ResumeSpec(context.Background(), spec, cp, Config{Workers: resumeWorkers})
+			if err != nil {
+				t.Fatalf("workers=%d resume=%d: %v", workers, resumeWorkers, err)
+			}
+			if resumed.Reused != len(cp.Results) {
+				t.Errorf("workers=%d resume=%d: reused %d jobs, checkpoint held %d",
+					workers, resumeWorkers, resumed.Reused, len(cp.Results))
+			}
+			if resumed.Executed != resumed.Jobs-resumed.Reused {
+				t.Errorf("workers=%d resume=%d: executed %d, want %d",
+					workers, resumeWorkers, resumed.Executed, resumed.Jobs-resumed.Reused)
+			}
+			if got := artifactBytes(t, resumed); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d resume=%d: resumed artifact differs from uninterrupted run",
+					workers, resumeWorkers)
+			}
+		}
+	}
+}
+
+// TestCheckpointFileRoundTrip: a full checkpointed run records every job,
+// and reopening the file reuses them all.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	spec := Spec{Adversaries: []string{"random-path"}, Ns: []int{8, 16}, Trials: 3, Seed: 11}
+	path := filepath.Join(t.TempDir(), "full.ckpt")
+
+	cf, err := OpenCheckpointFile(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunSpec(context.Background(), spec, cf.Wire(Config{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cf2, err := OpenCheckpointFile(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf2.Close()
+	if len(cf2.Completed) != first.Jobs {
+		t.Fatalf("reopened checkpoint holds %d jobs, want %d", len(cf2.Completed), first.Jobs)
+	}
+	second, err := RunSpec(context.Background(), spec, cf2.Wire(Config{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Reused != second.Jobs || second.Executed != 0 {
+		t.Errorf("second run reused/executed = %d/%d, want %d/0",
+			second.Reused, second.Executed, second.Jobs)
+	}
+	if !bytes.Equal(artifactBytes(t, first), artifactBytes(t, second)) {
+		t.Error("fully-resumed artifact differs")
+	}
+}
+
+func TestCheckpointRejectsForeignSpec(t *testing.T) {
+	spec := Spec{Adversaries: []string{"random-path"}, Ns: []int{8}, Trials: 2, Seed: 1}
+	other := spec
+	other.Seed = 2
+	path := filepath.Join(t.TempDir(), "a.ckpt")
+	cf, err := OpenCheckpointFile(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpec(context.Background(), spec, cf.Wire(Config{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenCheckpointFile(path, other); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("foreign spec accepted for append: %v", err)
+	}
+	cp, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSpec(context.Background(), other, cp, Config{}); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("foreign spec accepted for resume: %v", err)
+	}
+}
+
+// TestCheckpointToleratesTornTail: a file whose last line was cut by a
+// kill still loads, losing only that record.
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	spec := Spec{Adversaries: []string{"random-path"}, Ns: []int{8}, Trials: 4, Seed: 5}
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	cf, err := OpenCheckpointFile(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpec(context.Background(), spec, cf.Wire(Config{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-7] // cut into the final record
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("torn checkpoint rejected: %v", err)
+	}
+	if len(cp.Results) != 3 {
+		t.Errorf("torn checkpoint holds %d records, want 3", len(cp.Results))
+	}
+	o, err := ResumeSpec(context.Background(), spec, cp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Completed != o.Jobs || o.Reused != 3 {
+		t.Errorf("resume from torn checkpoint: completed/reused = %d/%d", o.Completed, o.Reused)
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "not json\n", `{"format":"something-else/9"}` + "\n"} {
+		if _, err := LoadCheckpoint(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadCheckpoint(%q) succeeded", in)
+		}
+	}
+}
+
+func TestSpecHashSensitivity(t *testing.T) {
+	base := detSpec()
+	h := SpecHash(base)
+	mutations := map[string]func(*Spec){
+		"seed":   func(s *Spec) { s.Seed++ },
+		"trials": func(s *Spec) { s.Trials++ },
+		"goal":   func(s *Spec) { s.Goal = "gossip" },
+		"ns":     func(s *Spec) { s.Ns = append(s.Ns, 99) },
+	}
+	for name, mutate := range mutations {
+		spec := base
+		mutate(&spec)
+		if SpecHash(spec) == h {
+			t.Errorf("hash insensitive to %s", name)
+		}
+	}
+	if SpecHash(base) != h {
+		t.Error("hash not stable")
+	}
+	// Presentation must not affect identity: the name and the two
+	// spellings of the default goal hash alike, so checkpoints written
+	// under one spelling resume under the other.
+	named := base
+	named.Name = "renamed"
+	if SpecHash(named) != h {
+		t.Error("hash depends on the campaign name")
+	}
+	spelled := base
+	spelled.Goal = "broadcast"
+	if SpecHash(spelled) != h {
+		t.Error(`hash distinguishes goal "" from "broadcast"`)
+	}
+}

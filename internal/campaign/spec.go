@@ -2,6 +2,9 @@ package campaign
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +16,12 @@ import (
 	"dyntreecast/internal/rng"
 	"dyntreecast/internal/tree"
 )
+
+// EngineVersion names the simulation semantics that cell results depend
+// on. It participates in every cache key and checkpoint hash, so bumping
+// it (whenever engines, adversaries, or stream derivation change results)
+// invalidates stale stored cells instead of silently serving them.
+const EngineVersion = "dyntreecast-engine/2"
 
 // Spec declaratively describes a campaign: the full cross product of
 // Adversaries × Ns (× Ks for the k-parameterized adversaries) × Trials,
@@ -148,23 +157,102 @@ func (s *Spec) goal() core.Goal {
 	return core.Broadcast
 }
 
-// Compile validates the spec and expands its grid into jobs. The grid is
-// walked in a fixed nested order (adversary, n, k, trial) and each job's
-// random source is split from the root source at this point, so the job
-// list — including every job's stream — is a pure function of the spec.
-// Grid points where k is infeasible (k > n−1) are skipped, mirroring the
-// restricted experiments.
-func (s *Spec) Compile() ([]Job, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
+// goalName returns the normalized goal for identity strings.
+func (s *Spec) goalName() string {
+	if s.Goal == "" {
+		return "broadcast"
 	}
-	root := rng.New(s.Seed)
+	return s.Goal
+}
+
+// cellIdentity is the canonical string of everything that determines one
+// cell's trial results: the engine version, the campaign seed, the goal
+// and round budget, and the cell coordinates. It deliberately excludes
+// the trial count — trial streams are split serially from the cell root,
+// so the trials of a smaller campaign are a prefix of a larger one's.
+func (s *Spec) cellIdentity(adv string, n, k int) string {
+	return fmt.Sprintf("%s|seed=%d|goal=%s|maxr=%d|adv=%s|n=%d|k=%d",
+		EngineVersion, s.Seed, s.goalName(), s.MaxRounds, adv, n, k)
+}
+
+// cellSeed derives the root seed of one cell's random streams by hashing
+// the cell identity. Streams therefore depend only on the cell and the
+// campaign seed — not on where the cell sits in the grid — which is what
+// makes content-addressed caching of cells sound: the same cell in two
+// different specs (same seed) produces the same results.
+func (s *Spec) cellSeed(adv string, n, k int) uint64 {
+	sum := sha256.Sum256([]byte(s.cellIdentity(adv, n, k)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// cellCacheKey is the content address of one fully-run cell: the cell
+// identity plus the trial count, hashed. See DESIGN.md §3b.
+func (s *Spec) cellCacheKey(adv string, n, k int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|trials=%d", s.cellIdentity(adv, n, k), s.Trials)))
+	return hex.EncodeToString(sum[:])
+}
+
+// cellPlan records one grid cell of a compiled spec: its coordinates, its
+// cache key, and the indexes of its jobs in trial order.
+type cellPlan struct {
+	Cell   string // CellKey(adv, n, k)
+	Key    string // content address (cellCacheKey)
+	JobIdx []int  // job indexes, one per trial, in trial order
+}
+
+// Compile validates the spec and expands its grid into jobs. The grid is
+// walked in a fixed nested order (adversary, n, k, trial). Each cell's
+// random streams are derived content-addressed — a root source seeded by
+// a hash of (engine version, seed, goal, round budget, adversary, n, k),
+// split serially in trial order — so every cell's results are a pure
+// function of the spec's seed and the cell's own coordinates, independent
+// of what else the grid contains. Grid points where k is infeasible
+// (k > n−1) are skipped, mirroring the restricted experiments.
+func (s *Spec) Compile() ([]Job, error) {
+	jobs, _, err := s.compile()
+	return jobs, err
+}
+
+// jobCount returns the number of jobs the spec compiles to, without
+// building closures or splitting sources — cheap enough to call on every
+// checkpoint open even for million-job grids.
+func (s *Spec) jobCount() (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, name := range s.Adversaries {
+		f, _ := factoryByName(name)
+		ks := []int{-1}
+		if f.NeedsK {
+			ks = s.Ks
+		}
+		for _, n := range s.Ns {
+			for _, k := range ks {
+				if f.NeedsK && (k < 1 || k > n-1) {
+					continue
+				}
+				total += s.Trials
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("campaign: spec compiles to an empty grid (every k infeasible?)")
+	}
+	return total, nil
+}
+
+func (s *Spec) compile() ([]Job, []cellPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
 	goal := s.goal()
 	var opts []core.Option
 	if s.MaxRounds > 0 {
 		opts = append(opts, core.WithMaxRounds(s.MaxRounds))
 	}
 	var jobs []Job
+	var cells []cellPlan
 	for _, name := range s.Adversaries {
 		f, _ := factoryByName(name)
 		ks := []int{-1}
@@ -177,20 +265,25 @@ func (s *Spec) Compile() ([]Job, error) {
 					continue
 				}
 				cell := CellKey(name, n, k)
+				plan := cellPlan{Cell: cell, Key: s.cellCacheKey(name, n, k)}
+				root := rng.New(s.cellSeed(name, n, k))
 				for trial := 0; trial < s.Trials; trial++ {
+					plan.JobIdx = append(plan.JobIdx, len(jobs))
 					jobs = append(jobs, Job{
 						Index: len(jobs),
+						Cell:  cell,
 						Src:   root.Split(),
 						Run:   runGridPoint(f, n, k, cell, goal, opts),
 					})
 				}
+				cells = append(cells, plan)
 			}
 		}
 	}
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("campaign: spec compiles to an empty grid (every k infeasible?)")
+		return nil, nil, fmt.Errorf("campaign: spec compiles to an empty grid (every k infeasible?)")
 	}
-	return jobs, nil
+	return jobs, cells, nil
 }
 
 func runGridPoint(f Factory, n, k int, cell string, goal core.Goal, opts []core.Option) func(context.Context, *rng.Source) ([]Measurement, error) {
@@ -220,20 +313,115 @@ type Outcome struct {
 	Failed    int         `json:"failed"`
 	Cells     []CellStats `json:"cells"`
 	Errors    []string    `json:"errors,omitempty"`
+
+	// Job-accounting fields, populated by RunSpec and excluded from the
+	// JSON artifact so that warm-cache and resumed runs stay byte-identical
+	// to cold ones. Executed + CacheHits + Reused == Completed + Failed
+	// for an uncancelled run.
+	Executed  int `json:"-"` // jobs actually run by the worker pool
+	CacheHits int `json:"-"` // jobs satisfied from Config.Cache
+	Reused    int `json:"-"` // jobs satisfied from Config.Completed (checkpoint)
+}
+
+// cellEntry is the JSON value stored in the cell cache: all of a cell's
+// per-trial measurements, in trial order.
+type cellEntry struct {
+	Cell   string          `json:"cell"`
+	Trials [][]Measurement `json:"trials"`
 }
 
 // RunSpec compiles and executes the spec on cfg's worker pool and
 // aggregates per-cell statistics. Job failures do not abort the campaign:
 // they are counted and recorded (in job-index order) in Outcome.Errors.
-// The returned error is non-nil only for an invalid spec or a cancelled
-// context; on cancellation the partial Outcome is still returned.
+// The returned error is non-nil only for an invalid spec, a cache backend
+// failure, or a cancelled context; on cancellation the partial Outcome is
+// still returned.
+//
+// When cfg.Cache is set, each cell whose content address is present in
+// the cache is served from it (its jobs never reach the pool), and each
+// cell computed fresh and fully successful is stored back. When
+// cfg.Completed holds checkpointed results, those jobs are reused
+// likewise. Either way the aggregated Outcome — and its JSON artifact —
+// is byte-identical to an uncached, uninterrupted run, because results
+// are observed in job-index order regardless of provenance.
 func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
-	jobs, err := spec.Compile()
+	jobs, cells, err := spec.compile()
 	if err != nil {
 		return nil, err
 	}
-	results, runErr := Run(ctx, jobs, cfg)
-	out := &Outcome{Spec: spec, Jobs: len(jobs), Cells: Aggregate(results)}
+	// Copy so the cache pass below can add entries without mutating the
+	// caller's map. Run is the single splice point: it ignores
+	// out-of-range indexes, so only in-range entries count as reused.
+	completed := make(map[int]JobResult, len(cfg.Completed))
+	reused := 0
+	for idx, r := range cfg.Completed {
+		completed[idx] = r
+		if idx >= 0 && idx < len(jobs) {
+			reused++
+		}
+	}
+	cacheHits := 0
+	var misses []cellPlan // cells to store after a fresh computation
+	if cfg.Cache != nil {
+		for _, c := range cells {
+			if covered(completed, c.JobIdx) {
+				continue // fully checkpointed; no cache involvement needed
+			}
+			data, ok, err := cfg.Cache.Get(c.Key)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: cache get %s: %w", c.Cell, err)
+			}
+			if !ok {
+				misses = append(misses, c)
+				continue
+			}
+			var ent cellEntry
+			if err := json.Unmarshal(data, &ent); err != nil || len(ent.Trials) != len(c.JobIdx) {
+				// A torn or foreign entry is treated as a miss; the fresh
+				// computation will overwrite it.
+				misses = append(misses, c)
+				continue
+			}
+			for ti, idx := range c.JobIdx {
+				if _, have := completed[idx]; have {
+					continue
+				}
+				completed[idx] = JobResult{Index: idx, Measurements: ent.Trials[ti]}
+				cacheHits++
+			}
+		}
+	}
+	runCfg := cfg
+	runCfg.Completed = completed
+	results, runErr := Run(ctx, jobs, runCfg)
+	if cfg.Cache != nil && runErr == nil {
+		for _, c := range misses {
+			ent := cellEntry{Cell: c.Cell, Trials: make([][]Measurement, len(c.JobIdx))}
+			storable := true
+			for ti, idx := range c.JobIdx {
+				r := results[idx]
+				if r.Skipped || r.Err != nil {
+					storable = false
+					break
+				}
+				ent.Trials[ti] = r.Measurements
+			}
+			if !storable {
+				continue
+			}
+			data, err := json.Marshal(ent)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: encoding cache entry %s: %w", c.Cell, err)
+			}
+			if err := cfg.Cache.Put(c.Key, data); err != nil {
+				return nil, fmt.Errorf("campaign: cache put %s: %w", c.Cell, err)
+			}
+		}
+	}
+	out := &Outcome{
+		Spec: spec, Jobs: len(jobs), Cells: Aggregate(results),
+		CacheHits: cacheHits, Reused: reused,
+	}
 	for _, r := range results {
 		switch {
 		case r.Skipped:
@@ -244,7 +432,18 @@ func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
 			out.Completed++
 		}
 	}
+	out.Executed = out.Completed + out.Failed - cacheHits - reused
 	return out, runErr
+}
+
+// covered reports whether every index in idxs is present in completed.
+func covered(completed map[int]JobResult, idxs []int) bool {
+	for _, idx := range idxs {
+		if _, ok := completed[idx]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // LoadSpec reads a JSON Spec from r, rejecting unknown fields so typos in

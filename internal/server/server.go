@@ -1,0 +1,463 @@
+// Package server implements the campaign service behind cmd/campaignd: an
+// HTTP facade over the campaign runner (internal/campaign) that accepts
+// declarative specs, executes them on worker pools, streams per-cell
+// results as they land, and checkpoints in-flight campaigns on graceful
+// shutdown so they can be resumed by a later submission of the same spec.
+//
+// Endpoints (README.md "Serving campaigns" has curl examples):
+//
+//	POST /campaigns            submit a JSON Spec → {"id", "jobs"}
+//	GET  /campaigns            list campaigns with status
+//	GET  /campaigns/{id}       status + per-cell aggregates (live or final)
+//	GET  /campaigns/{id}/stream  per-measurement stream: JSONL by default,
+//	                           server-sent events with Accept: text/event-stream
+//
+// Every result served is governed by the campaign determinism contract:
+// a campaign's aggregates are a pure function of its spec, so the daemon
+// can checkpoint, resume, and cache across requests without ever changing
+// an answer. The package serves the ROADMAP's "serve heavy traffic" goal
+// (sharding and batching via the worker pool, async submission, caching
+// via the cell cache).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"dyntreecast/internal/campaign"
+	"dyntreecast/internal/campaign/cache"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the pool size per campaign; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is shared by every campaign the server runs.
+	Cache cache.Cache
+	// CheckpointDir, when non-empty, makes every campaign checkpoint to
+	// <dir>/<spec-hash>.ckpt as results land. A submission whose spec
+	// matches an existing checkpoint resumes it — including after a
+	// daemon restart or graceful shutdown.
+	CheckpointDir string
+	// ReplayLimit bounds each campaign's stream-replay buffer (number of
+	// events kept for late subscribers); <= 0 selects 65536. Subscribers
+	// that fall behind the window get a truncation notice and continue
+	// from the oldest retained event; memory per campaign stays O(limit)
+	// instead of O(jobs).
+	ReplayLimit int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// defaultReplayLimit bounds per-campaign stream replay when
+// Options.ReplayLimit is unset.
+const defaultReplayLimit = 65536
+
+// Server runs campaigns and serves their state over HTTP. It implements
+// http.Handler; use Shutdown for a graceful stop that checkpoints
+// in-flight campaigns.
+type Server struct {
+	opts   Options
+	mux    *http.ServeMux
+	ctx    context.Context // cancelled by Shutdown
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*run
+	order     []string        // submission order, for listing
+	inUse     map[string]bool // checkpoint paths held by running campaigns
+	nextID    int
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// event is one streamed datum: a measurement of a completed job (Value is
+// always present, even when the measured quantity is 0 — n=1 broadcasts
+// in 0 rounds), or a job-level error (Err set, no Value).
+type event struct {
+	Index int      `json:"index"`
+	Cell  string   `json:"cell,omitempty"`
+	Value *float64 `json:"value,omitempty"`
+	Err   string   `json:"error,omitempty"`
+}
+
+// run is the live state of one submitted campaign. The event buffer is a
+// bounded replay window (Options.ReplayLimit): events holds the most
+// recent window, base counts the events dropped before it, and stream
+// subscribers that fall behind the window receive a truncation notice.
+// Final aggregates never depend on the window — they come from the
+// campaign outcome.
+type run struct {
+	id   string
+	spec campaign.Spec
+	jobs int
+
+	mu        sync.Mutex
+	events    []event
+	base      int    // absolute index of events[0]
+	limit     int    // replay window size
+	completed int    // jobs completed so far (counter; survives window trims)
+	failed    int    // jobs failed so far
+	status    string // "running", "done", "failed", "cancelled"
+	outcome   *campaign.Outcome
+	errMsg    string
+	notify    chan struct{} // closed and replaced on every state change
+}
+
+// New returns a Server ready to accept campaigns.
+func New(opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		ctx:       ctx,
+		cancel:    cancel,
+		campaigns: make(map[string]*run),
+		inUse:     make(map[string]bool),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Shutdown gracefully stops the server: no new campaigns are accepted,
+// running campaigns are cancelled (their checkpoints already hold every
+// completed job), and Shutdown waits — up to ctx's deadline — for them to
+// flush and finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown interrupted: %w", ctx.Err())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	spec, err := campaign.LoadSpec(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := spec.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("c%04d-%.8s", s.nextID, campaign.SpecHash(spec))
+	limit := s.opts.ReplayLimit
+	if limit <= 0 {
+		limit = defaultReplayLimit
+	}
+	r := &run{id: id, spec: spec, jobs: len(jobs), limit: limit, status: "running", notify: make(chan struct{})}
+	s.campaigns[id] = r
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.execute(r)
+	s.logf("campaign %s submitted: %d jobs", id, len(jobs))
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "jobs": len(jobs), "status": "running"})
+}
+
+// checkpointPath returns the checkpoint file for a spec, or "" when
+// checkpointing is off or the path is already held by a running campaign
+// (two concurrent submissions of one spec must not share a file).
+func (s *Server) checkpointPath(spec campaign.Spec) string {
+	if s.opts.CheckpointDir == "" {
+		return ""
+	}
+	path := filepath.Join(s.opts.CheckpointDir, campaign.SpecHash(spec)+".ckpt")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inUse[path] {
+		return ""
+	}
+	s.inUse[path] = true
+	return path
+}
+
+func (s *Server) execute(r *run) {
+	defer s.wg.Done()
+	cfg := campaign.Config{
+		Workers:  s.opts.Workers,
+		Cache:    s.opts.Cache,
+		OnResult: r.onResult,
+	}
+	if path := s.checkpointPath(r.spec); path != "" {
+		defer func() {
+			s.mu.Lock()
+			delete(s.inUse, path)
+			s.mu.Unlock()
+		}()
+		cf, err := campaign.OpenCheckpointFile(path, r.spec)
+		if err != nil {
+			s.logf("campaign %s: checkpoint disabled: %v", r.id, err)
+		} else {
+			if n := len(cf.Completed); n > 0 {
+				s.logf("campaign %s: resuming %d jobs from %s", r.id, n, path)
+			}
+			cfg = cf.Wire(cfg)
+			defer func() {
+				if err := cf.Close(); err != nil {
+					s.logf("campaign %s: %v", r.id, err)
+				}
+			}()
+		}
+	}
+	outcome, err := campaign.RunSpec(s.ctx, r.spec, cfg)
+	r.finish(outcome, err)
+	s.logf("campaign %s: %s", r.id, r.statusLine())
+}
+
+func (r *run) onResult(res campaign.JobResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if res.Err != nil {
+		r.failed++
+		r.events = append(r.events, event{Index: res.Index, Err: res.Err.Error()})
+	} else {
+		r.completed++
+		for _, m := range res.Measurements {
+			v := m.Value
+			r.events = append(r.events, event{Index: res.Index, Cell: m.Cell, Value: &v})
+		}
+	}
+	// Trim the replay window in batches so the copy amortizes to O(1)
+	// per event.
+	if len(r.events) > r.limit+r.limit/4 {
+		drop := len(r.events) - r.limit
+		r.base += drop
+		r.events = append([]event(nil), r.events[drop:]...)
+	}
+	r.wake()
+}
+
+// wake must be called with r.mu held.
+func (r *run) wake() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+func (r *run) finish(outcome *campaign.Outcome, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outcome = outcome
+	switch {
+	case err != nil && outcome != nil:
+		r.status = "cancelled" // RunSpec errors post-compile only on cancellation or cache failure
+		r.errMsg = err.Error()
+	case err != nil:
+		r.status = "failed"
+		r.errMsg = err.Error()
+	default:
+		r.status = "done"
+	}
+	r.wake()
+}
+
+func (r *run) statusLine() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.outcome != nil {
+		return fmt.Sprintf("%s (%d/%d jobs, %d failed)", r.status, r.outcome.Completed, r.jobs, r.outcome.Failed)
+	}
+	return r.status
+}
+
+func (s *Server) lookup(req *http.Request) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.campaigns[req.PathValue("id")]
+	return r, ok
+}
+
+// statusView is the JSON shape of GET /campaigns/{id}.
+type statusView struct {
+	ID        string               `json:"id"`
+	Status    string               `json:"status"`
+	Jobs      int                  `json:"jobs"`
+	Completed int                  `json:"completed"`
+	Failed    int                  `json:"failed"`
+	Error     string               `json:"error,omitempty"`
+	Cells     []campaign.CellStats `json:"cells,omitempty"`
+}
+
+func (r *run) view(withCells bool) statusView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := statusView{ID: r.id, Status: r.status, Jobs: r.jobs, Error: r.errMsg}
+	if r.outcome != nil {
+		v.Completed, v.Failed = r.outcome.Completed, r.outcome.Failed
+		if withCells {
+			v.Cells = r.outcome.Cells
+		}
+		return v
+	}
+	// Campaign still running: counts come from the lifetime counters and
+	// the cell preview from the retained replay window. The preview is
+	// completion-order dependent and window-bounded — only the final
+	// outcome carries the byte-stable aggregates.
+	v.Completed, v.Failed = r.completed, r.failed
+	if withCells {
+		results := make([]campaign.JobResult, 0, len(r.events))
+		for _, e := range r.events {
+			if e.Err != "" || e.Value == nil {
+				continue
+			}
+			results = append(results, campaign.JobResult{
+				Index:        e.Index,
+				Measurements: []campaign.Measurement{{Cell: e.Cell, Value: *e.Value}},
+			})
+		}
+		v.Cells = campaign.Aggregate(results)
+	}
+	return v
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.view(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	views := make([]statusView, len(runs))
+	for i, r := range runs {
+		views[i] = r.view(false)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+// handleStream replays every event so far and then follows the campaign
+// live until it finishes or the client goes away. Default framing is
+// JSONL (one event per line, then a final status line); with
+// Accept: text/event-stream the same payloads are sent as SSE "result"
+// events followed by a "done" event.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sse := req.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(kind string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		flusher.Flush()
+		return err == nil
+	}
+
+	cursor := 0 // absolute event index
+	for {
+		r.mu.Lock()
+		var truncated int
+		if cursor < r.base {
+			// The subscriber fell behind the replay window (or joined
+			// late on a huge campaign): report the gap, then continue
+			// from the oldest retained event.
+			truncated = r.base - cursor
+			cursor = r.base
+		}
+		pending := append([]event(nil), r.events[cursor-r.base:]...)
+		finished := r.status != "running"
+		notify := r.notify
+		r.mu.Unlock()
+
+		if truncated > 0 {
+			if !emit("truncated", map[string]int{"truncated": truncated}) {
+				return
+			}
+		}
+		for _, e := range pending {
+			if !emit("result", e) {
+				return
+			}
+		}
+		cursor += len(pending)
+		if finished {
+			v := r.view(false)
+			emit("done", map[string]any{"done": true, "status": v.Status, "completed": v.Completed, "failed": v.Failed})
+			return
+		}
+		select {
+		case <-notify:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dyntreecast/internal/campaign"
+	"dyntreecast/internal/campaign/cache"
+)
+
+const specJSON = `{"name":"itest","adversaries":["random-tree","random-path"],"ns":[8,16],"trials":4,"seed":21}`
+
+func mustSpec(t *testing.T) campaign.Spec {
+	t.Helper()
+	spec, err := campaign.LoadSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) (id string, jobs int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		ID   string `json:"id"`
+		Jobs int    `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID, out.Jobs
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var v statusView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) statusView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getStatus(t, ts, id)
+		if v.Status != "running" {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never finished", id)
+	return statusView{}
+}
+
+// TestSubmitStreamFetch is the submit → stream → fetch integration pass
+// over real HTTP: every job's measurement arrives on the stream, the
+// stream terminates with a done record, and the final aggregates equal a
+// direct in-process run of the same spec.
+func TestSubmitStreamFetch(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}))
+	defer ts.Close()
+
+	id, jobs := submit(t, ts, specJSON)
+	if jobs != 2*2*4 {
+		t.Fatalf("jobs = %d, want 16", jobs)
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	results := 0
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if done, _ := rec["done"].(bool); done {
+			sawDone = true
+			if rec["status"] != "done" {
+				t.Errorf("done record status = %v", rec["status"])
+			}
+			break
+		}
+		if rec["cell"] == "" || rec["error"] != nil {
+			t.Errorf("unexpected stream record: %v", rec)
+		}
+		results++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if results != jobs || !sawDone {
+		t.Fatalf("stream delivered %d results (done=%v), want %d", results, sawDone, jobs)
+	}
+
+	v := waitDone(t, ts, id)
+	if v.Status != "done" || v.Completed != jobs || v.Failed != 0 {
+		t.Fatalf("final status: %+v", v)
+	}
+	direct, err := campaign.RunSpec(context.Background(), mustSpec(t), campaign.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.Cells, direct.Cells) {
+		t.Errorf("served aggregates differ from direct run:\n%+v\nvs\n%+v", v.Cells, direct.Cells)
+	}
+}
+
+func TestStreamSSE(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}))
+	defer ts.Close()
+	id, jobs := submit(t, ts, specJSON)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/campaigns/"+id+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(body, []byte("event: result\n")); n != jobs {
+		t.Errorf("SSE result events = %d, want %d", n, jobs)
+	}
+	if !bytes.Contains(body, []byte("event: done\n")) {
+		t.Error("SSE stream missing done event")
+	}
+}
+
+func TestLateStreamReplays(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}))
+	defer ts.Close()
+	id, jobs := submit(t, ts, specJSON)
+	waitDone(t, ts, id)
+
+	// Subscribing after completion must still deliver the full history.
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != jobs+1 {
+		t.Errorf("late stream delivered %d lines, want %d results + 1 done", len(lines), jobs)
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}))
+	defer ts.Close()
+	for _, body := range []string{
+		"not json",
+		`{"adversaries":["omniscient"],"ns":[8],"trials":1,"seed":1}`,
+		`{"adversaries":["random-tree"],"ns":[8],"trials":1,"seed":1,"bogus":true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit(%q) = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestStatusNotFound(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}))
+	defer ts.Close()
+	for _, path := range []string{"/campaigns/nope", "/campaigns/nope/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestListCampaigns(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}))
+	defer ts.Close()
+	id1, _ := submit(t, ts, specJSON)
+	id2, _ := submit(t, ts, `{"adversaries":["static-path"],"ns":[8],"trials":2,"seed":1}`)
+	waitDone(t, ts, id1)
+	waitDone(t, ts, id2)
+
+	resp, err := http.Get(ts.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []statusView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || views[0].ID != id1 || views[1].ID != id2 {
+		t.Errorf("list = %+v", views)
+	}
+}
+
+// TestServerSharesCellCache: two submissions of the same spec through a
+// cache-equipped server serve the second from the cell cache.
+func TestServerSharesCellCache(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2, Cache: cache.NewMemory()}))
+	defer ts.Close()
+	id1, _ := submit(t, ts, specJSON)
+	v1 := waitDone(t, ts, id1)
+	id2, _ := submit(t, ts, specJSON)
+	v2 := waitDone(t, ts, id2)
+	if !reflect.DeepEqual(v1.Cells, v2.Cells) {
+		t.Errorf("cached rerun served different aggregates")
+	}
+}
+
+// TestGracefulShutdownCheckpointsInFlight: shutting the server down
+// mid-campaign leaves a valid checkpoint holding the completed jobs, and
+// resuming from it yields an artifact byte-identical to an uninterrupted
+// run.
+func TestGracefulShutdownCheckpointsInFlight(t *testing.T) {
+	ckptDir := t.TempDir()
+	srv := New(Options{Workers: 1, CheckpointDir: ckptDir})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	big := `{"name":"slow","adversaries":["random-tree"],"ns":[64],"trials":2000,"seed":3}`
+	id, jobs := submit(t, ts, big)
+
+	// Follow the stream until a result lands, so shutdown hits mid-run.
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no stream output before shutdown")
+	}
+	resp.Body.Close()
+
+	ctx, cancelWait := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelWait()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// New submissions must be refused.
+	post, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown = %d, want 503", post.StatusCode)
+	}
+
+	spec, err := campaign.LoadSpec(strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(ckptDir, campaign.SpecHash(spec)+".ckpt")
+	cp, err := campaign.LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint after graceful shutdown: %v", err)
+	}
+	if err := cp.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Results) == 0 {
+		t.Fatal("checkpoint recorded no completed jobs")
+	}
+	t.Logf("shutdown checkpointed %d/%d jobs", len(cp.Results), jobs)
+
+	resumed, err := campaign.ResumeSpec(context.Background(), spec, cp, campaign.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted, err := campaign.RunSpec(context.Background(), spec, campaign.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := resumed.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := uninterrupted.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("resumed artifact differs from uninterrupted run")
+	}
+}
+
+// TestServerResumesAcrossRestart: a daemon that shut down mid-campaign
+// resumes the work when the same spec is submitted to a fresh server
+// sharing the checkpoint directory.
+func TestServerResumesAcrossRestart(t *testing.T) {
+	ckptDir := t.TempDir()
+	spec3 := `{"name":"restart","adversaries":["random-tree"],"ns":[64],"trials":1500,"seed":8}`
+
+	srv1 := New(Options{Workers: 1, CheckpointDir: ckptDir})
+	ts1 := httptest.NewServer(srv1)
+	id, jobs := submit(t, ts1, spec3)
+	resp, err := http.Get(ts1.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no stream output")
+	}
+	resp.Body.Close()
+	ctx, cancelWait := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelWait()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	var resumedJobs int
+	srv2 := New(Options{Workers: 2, CheckpointDir: ckptDir, Logf: func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		if strings.Contains(line, "resuming") {
+			fmt.Sscanf(line[strings.Index(line, "resuming"):], "resuming %d jobs", &resumedJobs)
+		}
+	}})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	id2, _ := submit(t, ts2, spec3)
+	v := waitDone(t, ts2, id2)
+	if v.Status != "done" || v.Completed != jobs {
+		t.Fatalf("restarted campaign: %+v", v)
+	}
+	if resumedJobs == 0 {
+		t.Error("second server did not resume from the checkpoint")
+	}
+}
+
+// TestStreamReplayWindowTruncates: with a tiny replay window, a late
+// subscriber gets a truncation notice plus the retained tail instead of
+// the full history, and the lifetime counters stay exact.
+func TestStreamReplayWindowTruncates(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2, ReplayLimit: 8}))
+	defer ts.Close()
+	id, jobs := submit(t, ts, `{"adversaries":["random-tree"],"ns":[8],"trials":64,"seed":2}`)
+	v := waitDone(t, ts, id)
+	if v.Completed != jobs {
+		t.Fatalf("completed = %d, want %d (counters must survive window trims)", v.Completed, jobs)
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var truncated, results int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case rec["truncated"] != nil:
+			truncated = int(rec["truncated"].(float64))
+		case rec["done"] == true:
+		default:
+			results++
+		}
+	}
+	if truncated == 0 {
+		t.Error("late subscriber got no truncation notice")
+	}
+	if results > 10 || results == 0 {
+		t.Errorf("late subscriber got %d results, want the bounded tail", results)
+	}
+	if truncated+results != jobs {
+		t.Errorf("truncated %d + results %d != %d jobs", truncated, results, jobs)
+	}
+}

@@ -1,6 +1,13 @@
 // Package stats provides the small summary-statistics toolkit used by the
 // experiment harness: per-series mean/deviation/percentiles over repeated
 // simulation runs.
+//
+// Every randomized table in the reproduction flows through here — the
+// best-measured sweeps of Figure 1 (experiment E1), the restricted-regime
+// means of E5, the gossip/broadcast ratios of E9 — as do the campaign
+// layer's per-cell aggregates (count/mean/stddev/min/max/p50/p99), whose
+// byte-stability across worker counts rests on these functions being
+// deterministic, order-respecting folds.
 package stats
 
 import (

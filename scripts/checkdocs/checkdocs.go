@@ -1,0 +1,85 @@
+// Command checkdocs enforces the repository's documentation floor: every
+// Go package — the root, everything under internal/ and cmd/, the
+// examples, and these scripts — must carry a package comment saying what
+// it models and why it exists. CI runs it as part of the docs job
+// (.github/workflows/ci.yml); it exits nonzero listing every package
+// that lacks one.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	missing, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "checkdocs: packages without a package comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("checkdocs: every package has a package comment")
+}
+
+// check walks root and returns the directories holding a Go package with
+// no package comment on any of its non-test files.
+func check(root string) ([]string, error) {
+	pkgFiles := map[string][]string{} // dir → non-test .go files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgFiles[dir] = append(pkgFiles[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var missing []string
+	for dir, files := range pkgFiles {
+		documented := false
+		fset := token.NewFileSet()
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", file, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

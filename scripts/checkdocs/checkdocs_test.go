@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsUndocumentedPackages(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "g.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(root, "bad", "b.go"), "package bad\n")
+	// A doc comment in any file of the package counts.
+	write(t, filepath.Join(root, "split", "doc.go"), "// Package split keeps its docs in doc.go.\npackage split\n")
+	write(t, filepath.Join(root, "split", "impl.go"), "package split\n")
+	// Test files don't satisfy the requirement.
+	write(t, filepath.Join(root, "testonly", "t.go"), "package testonly\n")
+	write(t, filepath.Join(root, "testonly", "t_test.go"), "// Package testonly has only test docs.\npackage testonly\n")
+	// Hidden and testdata dirs are skipped entirely.
+	write(t, filepath.Join(root, ".hidden", "h.go"), "package hidden\n")
+	write(t, filepath.Join(root, "good", "testdata", "fixture.go"), "package fixture\n")
+
+	missing, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "bad"), filepath.Join(root, "testonly")}
+	if len(missing) != len(want) || missing[0] != want[0] || missing[1] != want[1] {
+		t.Errorf("missing = %v, want %v", missing, want)
+	}
+}
+
+func TestCheckCleanTree(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "a", "a.go"), "// Package a is fine.\npackage a\n")
+	missing, err := check(root)
+	if err != nil || len(missing) != 0 {
+		t.Errorf("check = %v, %v; want clean", missing, err)
+	}
+}
+
+// TestRepositoryIsFullyDocumented runs the checker against this
+// repository itself — the CI docs job in executable-test form.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	missing, err := check(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("packages without package comments: %v", missing)
+	}
+}
