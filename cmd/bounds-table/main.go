@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,9 +30,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bounds-table", flag.ContinueOnError)
 	var (
-		nsFlag = fs.String("ns", "2,3,4,5,8,12,16,24,32", "comma-separated n values")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		asCSV  = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		nsFlag  = fs.String("ns", "2,3,4,5,8,12,16,24,32", "comma-separated n values")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		asCSV   = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		outPath = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,10 +46,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *asCSV {
-		return table.WriteCSV(os.Stdout)
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("creating -out: %w", err)
+		}
+		defer f.Close()
+		w = f
 	}
-	return table.WriteText(os.Stdout)
+	if *asCSV {
+		return table.WriteCSV(w)
+	}
+	return table.WriteText(w)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmallNs regenerates Figure 1 at tiny sizes, where the exact
+// solver pins the measured column: t*(T2) = 1 and t*(T3) = 2.
+func TestRunSmallNs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fig1.csv")
+	if err := run([]string{"-ns", "2,3", "-csv", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "n,") {
+		t.Errorf("CSV missing header:\n%s", text)
+	}
+	for _, want := range []string{"2,4,2,0,4,1,1,", "3,9,5,4,7,2,2,"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("CSV missing row %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag": {"-no-such-flag"},
+		"bad ns":       {"-ns", "three"},
+		"n below one":  {"-ns", "0"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2,3")
+	if err != nil || len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("parseInts accepted an empty list")
+	}
+}

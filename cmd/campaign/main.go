@@ -5,17 +5,21 @@
 // -workers, so campaign artifacts are machine-diffable across runs,
 // machines, and PRs.
 //
-// The grid comes either from a JSON spec file or from flags:
+// The grid comes from a JSON spec file, from scenario flags, or from the
+// legacy adversary/ks flags:
 //
 //	campaign -spec sweep.json -format json -out sweep.json.out
+//	campaign -scenario random-tree -scenario '{"adversary":"k-leaves","params":{"k":[2,4]}}' -ns 32,64 -trials 20
 //	campaign -adversaries random-tree,random-path -ns 16,32,64 -trials 50
 //	campaign -adversaries k-leaves,k-inner -ns 32,64 -ks 2,4,8 -trials 20 -format csv
 //	campaign -adversaries random-tree -ns 64 -trials 100 -goal gossip -workers 4 -progress
 //
-// A spec file is the JSON form of the same grid:
+// A spec file is the JSON form of the same grid (schema v2; the legacy
+// adversaries/ks form is still accepted and canonicalized):
 //
-//	{"name": "restricted", "adversaries": ["k-leaves"], "ns": [32, 64],
-//	 "ks": [2, 4], "trials": 20, "seed": 1}
+//	{"version": 2, "name": "restricted",
+//	 "scenarios": [{"adversary": "k-leaves", "params": {"k": [2, 4]}}],
+//	 "ns": [32, 64], "trials": 20, "seed": 1}
 //
 // Interrupting the run (SIGINT/SIGTERM) cancels the pool promptly; the
 // aggregate of the jobs that did finish is still written.
@@ -55,6 +59,9 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	var scenarios campaign.ScenarioFlag
+	fs.Var(&scenarios, "scenario", "scenario: a family name or a JSON object "+
+		`{"adversary":NAME,"params":{...}} (repeatable; overrides -adversaries/-ks)`)
 	var (
 		specPath = fs.String("spec", "", "JSON spec file ('-' = stdin); overrides the grid flags")
 		advsFlag = fs.String("adversaries", "random-tree", "comma-separated adversaries: "+strings.Join(campaign.Adversaries(), ", "))
@@ -88,21 +95,23 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-ns: %w", err)
 		}
-		var ks []int
-		if *ksFlag != "" {
-			if ks, err = parseInts(*ksFlag); err != nil {
-				return fmt.Errorf("-ks: %w", err)
-			}
-		}
 		spec = campaign.Spec{
-			Name:        *name,
-			Adversaries: splitNames(*advsFlag),
-			Ns:          ns,
-			Ks:          ks,
-			Trials:      *trials,
-			Seed:        *seed,
-			Goal:        *goal,
-			MaxRounds:   *maxR,
+			Name:      *name,
+			Ns:        ns,
+			Trials:    *trials,
+			Seed:      *seed,
+			Goal:      *goal,
+			MaxRounds: *maxR,
+		}
+		if len(scenarios) > 0 {
+			spec.Scenarios = scenarios
+		} else {
+			spec.Adversaries = splitNames(*advsFlag)
+			if *ksFlag != "" {
+				if spec.Ks, err = parseInts(*ksFlag); err != nil {
+					return fmt.Errorf("-ks: %w", err)
+				}
+			}
 		}
 		if spec.Goal == "broadcast" {
 			spec.Goal = "" // the default; keep artifacts minimal

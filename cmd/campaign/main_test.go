@@ -58,15 +58,48 @@ func TestRunGridFlags(t *testing.T) {
 	}
 }
 
+// TestRunScenarioFlags: repeatable -scenario flags drive the v2 schema —
+// a bare name plus a parameterized JSON scenario with a k axis.
+func TestRunScenarioFlags(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scen.json")
+	err := run([]string{
+		"-scenario", "static-path",
+		"-scenario", `{"adversary":"k-inner","params":{"k":[2,3]}}`,
+		"-ns", "8", "-trials", "2", "-seed", "4", "-format", "json", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o campaign.Outcome
+	if err := json.Unmarshal(data, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Spec.Version != campaign.SpecVersion || len(o.Spec.Scenarios) != 3 {
+		t.Errorf("artifact spec not canonical: %+v", o.Spec)
+	}
+	for _, cell := range []string{"static-path/n=8", "k-inner/n=8/k=2", "k-inner/n=8/k=3"} {
+		if !bytes.Contains(data, []byte(`"`+cell+`"`)) {
+			t.Errorf("artifact missing cell %q", cell)
+		}
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	cases := map[string][]string{
-		"unknown flag":      {"-no-such-flag"},
-		"unknown adversary": {"-adversaries", "omniscient"},
-		"bad ns":            {"-ns", "eight"},
-		"bad ks":            {"-adversaries", "k-leaves", "-ns", "8", "-ks", "two"},
-		"unknown format":    {"-format", "yaml"},
-		"unknown goal":      {"-goal", "multicast"},
-		"missing spec file": {"-spec", filepath.Join(t.TempDir(), "nope.json")},
+		"unknown flag":       {"-no-such-flag"},
+		"unknown adversary":  {"-adversaries", "omniscient"},
+		"bad ns":             {"-ns", "eight"},
+		"bad ks":             {"-adversaries", "k-leaves", "-ns", "8", "-ks", "two"},
+		"unknown format":     {"-format", "yaml"},
+		"unknown goal":       {"-goal", "multicast"},
+		"missing spec file":  {"-spec", filepath.Join(t.TempDir(), "nope.json")},
+		"bad scenario":       {"-scenario", `{"adversary":"omniscient"}`},
+		"bad scenario json":  {"-scenario", `{"adversary":`},
+		"scenario bad param": {"-scenario", `{"adversary":"k-leaves","params":{"k":"two"}}`},
 	}
 	for name, args := range cases {
 		if err := run(args); err == nil {

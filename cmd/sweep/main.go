@@ -1,5 +1,7 @@
 // Command sweep regenerates any experiment of the reproduction as a text
-// table or CSV. One subcommand flag per experiment in DESIGN.md §4.
+// table or CSV. One subcommand flag per experiment in DESIGN.md §4, plus
+// the generic scenario grid (-exp grid), which sweeps any registered
+// adversary family — built-in or custom — through the campaign runner.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	sweep -exp exact
 //	sweep -exp gossip -ns 8,16,32 -trials 20
 //	sweep -exp static -ns 2,8,64
+//	sweep -exp grid -scenario random-tree \
+//	    -scenario '{"adversary":"k-leaves","params":{"k":[2,4]}}' -ns 16,32 -trials 10
 //
 // Randomized experiments fan their trials out over the campaign worker
 // pool; -workers tunes the pool (0 = GOMAXPROCS, 1 = the old serial
@@ -17,12 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/experiment"
 )
 
@@ -35,15 +42,18 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var scenarios campaign.ScenarioFlag
+	fs.Var(&scenarios, "scenario", "scenario for -exp grid: a family name or a JSON object (repeatable)")
 	var (
-		exp    = fs.String("exp", "figure1", "experiment: figure1, theorem31, static, restricted, nonsplit, exact, gossip")
-		nsFlag = fs.String("ns", "2,4,8,16,32", "comma-separated n values")
-		ksFlag = fs.String("ks", "2,3,4", "comma-separated k values (restricted)")
-		trials = fs.Int("trials", 10, "trials per configuration (randomized experiments)")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		maxN   = fs.Int("max-n", 5, "largest n for the exact experiment")
-		asCSV  = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		wrkrs  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		exp     = fs.String("exp", "figure1", "experiment: figure1, theorem31, static, restricted, nonsplit, exact, gossip, grid")
+		nsFlag  = fs.String("ns", "2,4,8,16,32", "comma-separated n values")
+		ksFlag  = fs.String("ks", "2,3,4", "comma-separated k values (restricted)")
+		trials  = fs.Int("trials", 10, "trials per configuration (randomized experiments)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		maxN    = fs.Int("max-n", 5, "largest n for the exact experiment")
+		asCSV   = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		wrkrs   = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		outPath = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,16 +84,52 @@ func run(args []string) error {
 		table, err = experiment.Exact(*maxN, *seed, opt)
 	case "gossip":
 		table, err = experiment.GossipVsBroadcast(ns, *trials, *seed, opt)
+	case "grid":
+		table, err = gridTable(scenarios, ns, *trials, *seed, *wrkrs)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	if err != nil {
 		return err
 	}
-	if *asCSV {
-		return table.WriteCSV(os.Stdout)
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("creating -out: %w", err)
+		}
+		defer f.Close()
+		w = f
 	}
-	return table.WriteText(os.Stdout)
+	if *asCSV {
+		return table.WriteCSV(w)
+	}
+	return table.WriteText(w)
+}
+
+// gridTable runs an ad-hoc scenario grid through the campaign runner and
+// renders its aggregates — the scenario-form sibling of cmd/campaign for
+// quick sweeps over any registered family.
+func gridTable(scenarios []campaign.Scenario, ns []int, trials int, seed uint64, workers int) (*experiment.Table, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("-exp grid needs at least one -scenario")
+	}
+	spec := campaign.Spec{
+		Version:   campaign.SpecVersion,
+		Name:      "grid",
+		Scenarios: scenarios,
+		Ns:        ns,
+		Trials:    trials,
+		Seed:      seed,
+	}
+	outcome, err := campaign.RunSpec(context.Background(), spec, campaign.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if outcome.Failed > 0 {
+		return nil, fmt.Errorf("%d/%d jobs failed (first: %s)", outcome.Failed, outcome.Jobs, outcome.Errors[0])
+	}
+	return experiment.CampaignTable(outcome), nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunStatic: the deterministic §2 experiment end to end, written to
+// a file so the assertion is on real output bytes.
+func TestRunStatic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "static.csv")
+	if err := run([]string{"-exp", "static", "-ns", "2,8", "-csv", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"n,measured,expected,ok", "2,1,1,true", "8,7,7,true"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("static CSV missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestRunRestricted: the Zeiner et al. regimes at a tiny size.
+func TestRunRestricted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "restricted.csv")
+	if err := run([]string{"-exp", "restricted", "-ns", "8", "-ks", "2", "-trials", "2",
+		"-csv", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "8,2,") {
+		t.Errorf("restricted CSV missing the n=8,k=2 row:\n%s", data)
+	}
+}
+
+// TestRunGrid: the scenario-form generic sweep, mixing a bare name with
+// a parameterized JSON scenario.
+func TestRunGrid(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "grid.csv")
+	if err := run([]string{"-exp", "grid",
+		"-scenario", "static-path",
+		"-scenario", `{"adversary":"k-leaves","params":{"k":2}}`,
+		"-ns", "8", "-trials", "2", "-csv", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static-path/n=8", "k-leaves/n=8/k=2"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("grid CSV missing cell %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":           {"-no-such-flag"},
+		"unknown experiment":     {"-exp", "warp"},
+		"bad ns":                 {"-ns", "eight"},
+		"bad ks":                 {"-exp", "restricted", "-ks", "two"},
+		"grid without scenarios": {"-exp", "grid"},
+		"grid bad scenario":      {"-exp", "grid", "-scenario", `{"adversary":"omniscient"}`, "-ns", "8"},
+		"grid bad scenario json": {"-exp", "grid", "-scenario", `{"bogus":`},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2, 4 ,8")
+	if err != nil || !reflect.DeepEqual(got, []int{2, 4, 8}) {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Error("parseInts accepted garbage")
+	}
+}

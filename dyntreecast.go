@@ -281,9 +281,69 @@ func NonsplitBroadcastTime(n int, adv NonsplitAdversary, maxRounds int) (int, er
 }
 
 // Campaign declaratively describes a parallel experiment sweep: the cross
-// product adversaries × ns (× ks) × trials, run toward a goal from one
-// seed. See the campaign package for the determinism contract.
+// product scenarios × ns × trials, run toward a goal from one seed. A
+// scenario names a registered adversary family with a JSON-serializable
+// parameter assignment; the legacy adversaries/ks fields are still
+// accepted and canonicalized into scenarios. See the campaign package for
+// the determinism contract and Canonical for the schema rules.
 type Campaign = campaign.Spec
+
+// Scenario selects one registered adversary family, with a parameter
+// assignment, for a Campaign grid. Array-valued params are axes: they
+// expand into one grid scenario per element (the cross product when
+// several params carry arrays), and omitted params take the family's
+// declared defaults.
+type Scenario = campaign.Scenario
+
+// AdversaryFamily is one self-describing entry of the open adversary
+// registry: a name, declared parameters (with kinds and defaults), an
+// optional validity/feasibility contract, and a constructor. Register
+// one with RegisterAdversary to make it addressable from Campaign specs,
+// cmd/campaign and cmd/sweep, and campaignd — including the cell cache,
+// checkpoint/resume, and streaming paths.
+type AdversaryFamily = campaign.Family
+
+// AdversaryParam declares one parameter of an AdversaryFamily: JSON key,
+// kind (IntParam, FloatParam, StringParam, BoolParam), and an optional
+// default (nil makes the parameter required).
+type AdversaryParam = campaign.Param
+
+// AdversaryParams is the concrete parameter assignment an
+// AdversaryFamily's constructor receives: canonicalized JSON scalars
+// keyed by parameter name, with Int/Float/String/Bool accessors.
+type AdversaryParams = campaign.Params
+
+// Parameter kinds an AdversaryParam may declare.
+const (
+	// IntParam accepts JSON integers.
+	IntParam = campaign.IntParam
+	// FloatParam accepts any JSON number.
+	FloatParam = campaign.FloatParam
+	// StringParam accepts JSON strings.
+	StringParam = campaign.StringParam
+	// BoolParam accepts JSON booleans.
+	BoolParam = campaign.BoolParam
+)
+
+// RegisterAdversary adds a custom parameterized adversary family to the
+// open registry, plugging it into campaigns, caching, checkpointing, and
+// campaignd without forking internals:
+//
+//	err := dyntreecast.RegisterAdversary(dyntreecast.AdversaryFamily{
+//	    Name:   "my-adversary",
+//	    Params: []dyntreecast.AdversaryParam{{Name: "depth", Kind: dyntreecast.IntParam, Default: 2}},
+//	    New: func(n int, p dyntreecast.AdversaryParams, r *dyntreecast.Rand) (dyntreecast.Adversary, error) {
+//	        return myAdversary(n, p.Int("depth"), r), nil
+//	    },
+//	})
+//
+// Family names are unique; re-registering one is an error. Safe for
+// concurrent use.
+func RegisterAdversary(f AdversaryFamily) error { return campaign.Register(f) }
+
+// AdversaryFamilies returns every registered adversary family in
+// canonical order: built-ins first, then registrations in order.
+func AdversaryFamilies() []AdversaryFamily { return campaign.Families() }
 
 // CampaignOutcome is the aggregated, machine-diffable result of a
 // campaign: per-cell count/mean/stddev/min/max/p50/p99 plus error
@@ -390,8 +450,11 @@ func ResumeCampaign(ctx context.Context, spec Campaign, path string, workers int
 	return runCampaign(ctx, spec, workers, opts)
 }
 
-// CampaignAdversaries lists the adversary names a Campaign may reference,
-// in canonical registry order.
+// CampaignAdversaries lists the adversary family names a Campaign may
+// reference, in canonical registry order.
+//
+// Deprecated: it survives as a shim over the open registry; use
+// AdversaryFamilies, which also exposes each family's parameters.
 func CampaignAdversaries() []string { return campaign.Adversaries() }
 
 // RandomCoverAdversary plays nonsplit graphs that cover each vertex pair

@@ -1,13 +1,22 @@
 package dyntreecast_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"dyntreecast"
+	"dyntreecast/internal/server"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -331,4 +340,167 @@ func TestResumeCampaignRequiresCheckpoint(t *testing.T) {
 	if _, err := dyntreecast.ResumeCampaign(context.Background(), spec, missing, 1); err == nil {
 		t.Error("ResumeCampaign succeeded without a checkpoint")
 	}
+}
+
+// stridingStar is the custom adversary of the acceptance test below: the
+// star rooted at (round·stride) mod n. Implemented entirely against the
+// public facade, as downstream code would.
+type stridingStar struct{ stride int }
+
+func (s stridingStar) Next(v dyntreecast.View) *dyntreecast.Tree {
+	star, err := dyntreecast.StarTree(v.N(), (v.Round()*s.stride)%v.N())
+	if err != nil {
+		return nil
+	}
+	return star
+}
+
+// TestRegisterAdversaryFullStack is the scenario-API acceptance pass: a
+// custom parameterized family registered through the public
+// RegisterAdversary runs through a full campaign with cache and
+// checkpoint, and round-trips through the campaignd HTTP service — where
+// a legacy-form submission of a built-in grid serves an artifact
+// byte-identical to its scenario-form equivalent.
+func TestRegisterAdversaryFullStack(t *testing.T) {
+	// A custom oblivious family: round-robin stars whose root advances by
+	// the "stride" parameter each round. Broadcast completes in 1 round
+	// (any star completes immediately), keeping the expected stats pinned.
+	err := dyntreecast.RegisterAdversary(dyntreecast.AdversaryFamily{
+		Name: "acceptance-striding-star",
+		Doc:  "star whose root advances by stride each round",
+		Params: []dyntreecast.AdversaryParam{
+			{Name: "stride", Kind: dyntreecast.IntParam, Default: 1, Doc: "root advance per round"},
+		},
+		New: func(_ int, p dyntreecast.AdversaryParams, _ *dyntreecast.Rand) (dyntreecast.Adversary, error) {
+			stride := p.Int("stride")
+			if stride < 1 {
+				return nil, fmt.Errorf("stride must be >= 1, got %d", stride)
+			}
+			return stridingStar{stride: stride}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := dyntreecast.Campaign{
+		Name: "acceptance",
+		Scenarios: []dyntreecast.Scenario{
+			{Adversary: "acceptance-striding-star", Params: map[string]any{"stride": []any{1, 2}}},
+		},
+		Ns:     []int{6, 8},
+		Trials: 3,
+		Seed:   5,
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+	cacheStore, err := dyntreecast.NewDirCampaignCache(filepath.Join(dir, "cells"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "acceptance.ckpt")
+
+	first, err := dyntreecast.RunCampaign(ctx, spec, 2,
+		dyntreecast.CampaignWithCache(cacheStore), dyntreecast.CampaignWithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Failed != 0 || first.Jobs != 2*2*3 {
+		t.Fatalf("custom campaign wrong: %+v errors=%v", first, first.Errors)
+	}
+	for _, cell := range first.Cells {
+		if cell.Mean != 1 {
+			t.Errorf("star cell %s mean = %v, want 1", cell.Cell, cell.Mean)
+		}
+	}
+
+	// Resume from the completed checkpoint: every job reused, same cells.
+	resumed, err := dyntreecast.ResumeCampaign(ctx, spec, ckpt, 1, dyntreecast.CampaignWithCache(cacheStore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Reused != resumed.Jobs {
+		t.Errorf("resume reused %d/%d jobs", resumed.Reused, resumed.Jobs)
+	}
+	if !reflect.DeepEqual(first.Cells, resumed.Cells) {
+		t.Errorf("resumed cells differ:\n%+v\nvs\n%+v", first.Cells, resumed.Cells)
+	}
+
+	// campaignd round-trip: the same custom scenario through HTTP, served
+	// from the shared cache, must report the same aggregates.
+	ts := httptest.NewServer(server.New(server.Options{Workers: 2}))
+	defer ts.Close()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := submitAndWait(t, ts, string(specJSON))
+	if !reflect.DeepEqual(served.Cells, first.Cells) {
+		t.Errorf("campaignd aggregates differ from local run:\n%+v\nvs\n%+v", served.Cells, first.Cells)
+	}
+
+	// Legacy-form vs scenario-form submissions of one built-in grid:
+	// byte-identical artifacts (modulo the submission-counter id).
+	legacy := `{"adversaries":["k-inner"],"ks":[2],"ns":[8],"trials":3,"seed":9}`
+	scenario := `{"version":2,"scenarios":[{"adversary":"k-inner","params":{"k":2}}],"ns":[8],"trials":3,"seed":9}`
+	a := submitAndWait(t, ts, legacy)
+	b := submitAndWait(t, ts, scenario)
+	a.ID, b.ID = "", ""
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("legacy and scenario campaignd artifacts differ:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// serverStatus mirrors campaignd's GET /campaigns/{id} document.
+type serverStatus struct {
+	ID        string                     `json:"id"`
+	Status    string                     `json:"status"`
+	Jobs      int                        `json:"jobs"`
+	Completed int                        `json:"completed"`
+	Failed    int                        `json:"failed"`
+	Error     string                     `json:"error,omitempty"`
+	Cells     []dyntreecast.CampaignCell `json:"cells,omitempty"`
+}
+
+func submitAndWait(t *testing.T, ts *httptest.Server, body string) serverStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := http.Get(ts.URL + "/campaigns/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v serverStatus
+		err = json.NewDecoder(st.Body).Decode(&v)
+		st.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != "running" {
+			if v.Status != "done" {
+				t.Fatalf("campaign %s finished %q: %s", sub.ID, v.Status, v.Error)
+			}
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never finished", sub.ID)
+	return serverStatus{}
 }

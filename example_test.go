@@ -113,3 +113,48 @@ func ExampleFloodMin() {
 	fmt.Println(res.Decision)
 	// Output: 3
 }
+
+// Register a custom parameterized adversary family and sweep its
+// parameter as a scenario axis. The family becomes addressable from
+// campaign specs, cmd/campaign -scenario, and campaignd exactly like the
+// built-ins — cache, checkpoint, and resume included.
+func ExampleRegisterAdversary() {
+	err := dyntreecast.RegisterAdversary(dyntreecast.AdversaryFamily{
+		Name: "example-star",
+		Doc:  "the star rooted at a fixed process",
+		Params: []dyntreecast.AdversaryParam{
+			{Name: "root", Kind: dyntreecast.IntParam, Default: 0, Doc: "the star's root"},
+		},
+		Feasible: func(n int, p dyntreecast.AdversaryParams) bool {
+			return p.Int("root") < n
+		},
+		New: func(n int, p dyntreecast.AdversaryParams, _ *dyntreecast.Rand) (dyntreecast.Adversary, error) {
+			star, err := dyntreecast.StarTree(n, p.Int("root"))
+			if err != nil {
+				return nil, err
+			}
+			return dyntreecast.StaticAdversary(star), nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	outcome, err := dyntreecast.RunCampaign(context.Background(), dyntreecast.Campaign{
+		Scenarios: []dyntreecast.Scenario{
+			{Adversary: "example-star", Params: map[string]any{"root": []any{0, 5}}},
+		},
+		Ns:     []int{4, 8}, // root=5 is infeasible at n=4 and skipped
+		Trials: 2,
+		Seed:   1,
+	}, 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, cell := range outcome.Cells {
+		fmt.Printf("%s mean=%.0f\n", cell.Cell, cell.Mean)
+	}
+	// Output:
+	// example-star/n=4/root=0 mean=1
+	// example-star/n=8/root=0 mean=1
+	// example-star/n=8/root=5 mean=1
+}

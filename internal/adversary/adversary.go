@@ -114,7 +114,10 @@ func heardCounts(v core.View) []int {
 
 // validateN panics if the adversary was constructed for a different n than
 // the engine it is driving. Used by adaptive adversaries that precompute
-// n-sized scratch state.
+// n-sized scratch state. The panic marks a programmer error in direct
+// library use; every construction path reachable from user input (campaign
+// specs, campaignd requests) goes through error-returning constructors
+// such as NewTwoPhasePath, which validate before the engine ever steps.
 func validateN(want, got int) {
 	if want != got {
 		panic(fmt.Sprintf("adversary: built for n=%d, driven with n=%d", want, got))

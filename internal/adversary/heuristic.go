@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"fmt"
 	"sort"
 
 	"dyntreecast/internal/core"
@@ -120,6 +121,24 @@ type TwoPhasePath struct {
 	N        int
 	SwitchAt int // rounds of phase 1
 	Prefix   int // how many leading vertices to reverse in phase 2
+}
+
+// NewTwoPhasePath validates the schedule's shape and returns it as an
+// adversary. Unlike constructing the struct directly (whose Next panics
+// on a mismatched n — a programmer error), this path returns errors, so
+// it is safe to reach from user input such as campaign specs and
+// campaignd requests.
+func NewTwoPhasePath(n, switchAt, prefix int) (core.Adversary, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("adversary: two-phase path needs n >= 1, got %d", n)
+	}
+	if switchAt < 0 {
+		return nil, fmt.Errorf("adversary: two-phase path needs switch_at >= 0, got %d", switchAt)
+	}
+	if prefix < 0 || prefix > n {
+		return nil, fmt.Errorf("adversary: two-phase path needs 0 <= prefix <= n, got prefix=%d at n=%d", prefix, n)
+	}
+	return TwoPhasePath{N: n, SwitchAt: switchAt, Prefix: prefix}, nil
 }
 
 // Next implements core.Adversary.

@@ -121,7 +121,7 @@ func TestCacheIgnoresCorruptEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := spec.cellCacheKey("random-path", 8, -1)
+	key := cellKeyFor(t, spec, "random-path", 8, -1)
 	if err := c.Put(key, []byte("{torn")); err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +145,29 @@ func TestCacheIgnoresCorruptEntries(t *testing.T) {
 	}
 }
 
+// cellKeyFor derives the cache key of one cell of spec for tests,
+// addressing the family by name with an optional k param (k < 0 = none).
+func cellKeyFor(t testing.TB, spec Spec, adv string, n, k int) string {
+	t.Helper()
+	sc := Scenario{Adversary: adv}
+	if k >= 0 {
+		sc.Params = map[string]any{"k": k}
+	}
+	grounds, err := expandScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grounds) != 1 {
+		t.Fatalf("scenario %s expanded to %d ground scenarios, want 1", sc, len(grounds))
+	}
+	return spec.cellCacheKey(grounds[0], n)
+}
+
 // TestCacheKeySensitivity: every determinant of a cell's results changes
 // its content address.
 func TestCacheKeySensitivity(t *testing.T) {
 	base := Spec{Adversaries: []string{"random-tree"}, Ns: []int{8}, Trials: 3, Seed: 1}
-	key := base.cellCacheKey("random-tree", 8, -1)
+	key := cellKeyFor(t, base, "random-tree", 8, -1)
 	mutations := map[string]func(*Spec){
 		"seed":       func(s *Spec) { s.Seed++ },
 		"trials":     func(s *Spec) { s.Trials++ },
@@ -159,23 +177,23 @@ func TestCacheKeySensitivity(t *testing.T) {
 	for name, mutate := range mutations {
 		spec := base
 		mutate(&spec)
-		if spec.cellCacheKey("random-tree", 8, -1) == key {
+		if cellKeyFor(t, spec, "random-tree", 8, -1) == key {
 			t.Errorf("cache key insensitive to %s", name)
 		}
 	}
-	if base.cellCacheKey("random-tree", 8, 2) == key {
-		t.Error("cache key insensitive to k")
+	if cellKeyFor(t, base, "k-leaves", 8, 2) == cellKeyFor(t, base, "k-leaves", 8, 3) {
+		t.Error("cache key insensitive to the k param")
 	}
-	if base.cellCacheKey("random-tree", 16, -1) == key {
+	if cellKeyFor(t, base, "random-tree", 16, -1) == key {
 		t.Error("cache key insensitive to n")
 	}
-	if base.cellCacheKey("random-path", 8, -1) == key {
+	if cellKeyFor(t, base, "random-path", 8, -1) == key {
 		t.Error("cache key insensitive to adversary")
 	}
 	// Name is presentation, not physics: it must NOT change the address.
 	named := base
 	named.Name = "presentation-only"
-	if named.cellCacheKey("random-tree", 8, -1) != key {
+	if cellKeyFor(t, named, "random-tree", 8, -1) != key {
 		t.Error("cache key depends on the campaign name")
 	}
 }

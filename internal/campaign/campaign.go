@@ -1,7 +1,15 @@
 // Package campaign is the parallel experiment orchestrator: it compiles a
-// declarative sweep specification (adversary × n × k × trials × goal) into
-// a flat list of jobs with deterministically pre-split random sources, and
+// declarative sweep specification (scenarios × n × trials × goal) into a
+// flat list of jobs with deterministically pre-split random sources, and
 // executes them on a context-cancellable worker pool sized to GOMAXPROCS.
+//
+// Scenarios name adversary families from an open registry (scenario.go,
+// DESIGN.md §3c): each family self-describes its parameters — names,
+// kinds, defaults, per-n feasibility — and Register lets downstream code
+// plug custom families into specs, caching, checkpointing, and the
+// campaignd daemon. The legacy adversaries/ks spec form is still accepted
+// and canonicalized into scenarios (Spec.Canonical), sharing identities
+// with the scenario spelling byte for byte.
 //
 // The hard invariant of the package is bit-identical output: for a fixed
 // Spec (including its seed), the aggregated Outcome is the same regardless

@@ -101,9 +101,38 @@ func TestSpecValidate(t *testing.T) {
 		mutate func(*Spec)
 		want   string
 	}{
-		{"no adversaries", func(s *Spec) { s.Adversaries = nil }, "at least one adversary"},
+		{"no adversaries", func(s *Spec) { s.Adversaries = nil }, "at least one scenario"},
 		{"unknown adversary", func(s *Spec) { s.Adversaries = []string{"omniscient"} }, "unknown adversary"},
 		{"k-family without ks", func(s *Spec) { s.Ks = nil }, "no ks"},
+		{"mixed forms", func(s *Spec) {
+			s.Scenarios = []Scenario{{Adversary: "random-tree"}}
+		}, "mixes scenarios"},
+		{"unsupported version", func(s *Spec) { s.Version = 3 }, "unsupported spec version"},
+		{"v2 with legacy fields", func(s *Spec) { s.Version = 2 }, "not adversaries/ks"},
+		{"unknown scenario adversary", func(s *Spec) {
+			s.Adversaries, s.Ks = nil, nil
+			s.Scenarios = []Scenario{{Adversary: "omniscient"}}
+		}, "unknown adversary"},
+		{"unknown scenario param", func(s *Spec) {
+			s.Adversaries, s.Ks = nil, nil
+			s.Scenarios = []Scenario{{Adversary: "random-tree", Params: map[string]any{"k": 2}}}
+		}, `no param "k"`},
+		{"missing required param", func(s *Spec) {
+			s.Adversaries, s.Ks = nil, nil
+			s.Scenarios = []Scenario{{Adversary: "k-leaves"}}
+		}, "missing required param"},
+		{"wrong param kind", func(s *Spec) {
+			s.Adversaries, s.Ks = nil, nil
+			s.Scenarios = []Scenario{{Adversary: "k-leaves", Params: map[string]any{"k": "two"}}}
+		}, "want int"},
+		{"fractional int param", func(s *Spec) {
+			s.Adversaries, s.Ks = nil, nil
+			s.Scenarios = []Scenario{{Adversary: "k-leaves", Params: map[string]any{"k": 2.5}}}
+		}, "want int"},
+		{"scenario check named", func(s *Spec) {
+			s.Adversaries, s.Ks = nil, nil
+			s.Scenarios = []Scenario{{Adversary: "k-leaves", Params: map[string]any{"k": 0}}}
+		}, `scenario k-leaves{"k":0}`},
 		{"no ns", func(s *Spec) { s.Ns = nil }, "at least one n"},
 		{"bad n", func(s *Spec) { s.Ns = []int{0} }, "n must be"},
 		{"bad k", func(s *Spec) { s.Ks = []int{0} }, "k must be"},

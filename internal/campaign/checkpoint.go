@@ -19,10 +19,17 @@ import (
 // that were in flight; a torn trailing line is tolerated on load. Only
 // successful jobs are recorded — failed jobs are deterministic functions
 // of the spec and are simply re-run on resume.
-const checkpointFormat = "dyntreecast-checkpoint/1"
+//
+// Format 2 accompanies spec schema v2: the header names the engine
+// version explicitly and spec_hash covers the spec's canonical (scenario)
+// form, so a legacy-form spec and its scenario-form equivalent share
+// checkpoints. Format-1 files predate the scenario engine and are
+// rejected (their results were derived from different streams).
+const checkpointFormat = "dyntreecast-checkpoint/2"
 
 type checkpointHeader struct {
 	Format   string `json:"format"`
+	Engine   string `json:"engine"`
 	SpecHash string `json:"spec_hash"`
 	Jobs     int    `json:"jobs"`
 }
@@ -37,9 +44,15 @@ type checkpointRecord struct {
 // canonical JSON. Any change to the spec — or to the engine semantics —
 // yields a different hash, so a checkpoint can never be resumed against
 // work it does not describe. The hash covers what determines results,
-// not presentation: the display Name is ignored and the default goal is
-// spelled out, so two spellings of the same campaign share checkpoints.
+// not presentation: the display Name is ignored, the default goal is
+// spelled out, and the spec is canonicalized first (legacy
+// adversaries/ks rewritten into ground scenarios), so every equivalent
+// spelling of a campaign shares checkpoints. An invalid spec hashes its
+// raw form — still deterministic, never resumable against valid work.
 func SpecHash(spec Spec) string {
+	if canon, err := spec.Canonical(); err == nil {
+		spec = canon
+	}
 	spec.Name = ""
 	spec.Goal = spec.goalName()
 	data, err := json.Marshal(spec)
@@ -76,6 +89,9 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var hdr checkpointHeader
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Format != checkpointFormat {
 		return nil, fmt.Errorf("campaign: not a %s file", checkpointFormat)
+	}
+	if hdr.Engine != "" && hdr.Engine != EngineVersion {
+		return nil, fmt.Errorf("campaign: checkpoint written by %s, this engine is %s", hdr.Engine, EngineVersion)
 	}
 	cp := &Checkpoint{SpecHash: hdr.SpecHash, Jobs: hdr.Jobs, Results: make(map[int][]Measurement)}
 	for sc.Scan() {
@@ -165,7 +181,7 @@ type CheckpointWriter struct {
 // Spec.Compile's result).
 func NewCheckpointWriter(w io.Writer, spec Spec, jobs int) (*CheckpointWriter, error) {
 	cw := &CheckpointWriter{buf: bufio.NewWriter(w)}
-	hdr := checkpointHeader{Format: checkpointFormat, SpecHash: SpecHash(spec), Jobs: jobs}
+	hdr := checkpointHeader{Format: checkpointFormat, Engine: EngineVersion, SpecHash: SpecHash(spec), Jobs: jobs}
 	if err := cw.writeLine(hdr); err != nil {
 		return nil, fmt.Errorf("campaign: writing checkpoint header: %w", err)
 	}

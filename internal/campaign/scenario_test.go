@@ -1,0 +1,397 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// TestLegacySpecCanonicalizesToScenarios is the schema-bridge golden
+// test: a legacy adversaries/ks spec and its hand-written scenario-form
+// equivalent canonicalize to the same spec, hash to the same spec hash
+// and cache keys, and produce byte-identical artifacts.
+func TestLegacySpecCanonicalizesToScenarios(t *testing.T) {
+	legacy := Spec{
+		Name:        "golden",
+		Adversaries: []string{"random-tree", "k-leaves"},
+		Ns:          []int{8, 16},
+		Ks:          []int{2, 3},
+		Trials:      4,
+		Seed:        42,
+	}
+	scenario := Spec{
+		Version: 2,
+		Name:    "golden",
+		Scenarios: []Scenario{
+			{Adversary: "random-tree"},
+			{Adversary: "k-leaves", Params: map[string]any{"k": []any{2, 3}}},
+		},
+		Ns:     []int{8, 16},
+		Trials: 4,
+		Seed:   42,
+	}
+
+	lc, err := legacy.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lc, sc) {
+		t.Fatalf("canonical forms differ:\n%+v\nvs\n%+v", lc, sc)
+	}
+	wantScens := []Scenario{
+		{Adversary: "random-tree"},
+		{Adversary: "k-leaves", Params: map[string]any{"k": float64(2)}},
+		{Adversary: "k-leaves", Params: map[string]any{"k": float64(3)}},
+	}
+	if !reflect.DeepEqual(lc.Scenarios, wantScens) {
+		t.Errorf("canonical scenarios = %+v, want %+v", lc.Scenarios, wantScens)
+	}
+	if lc.Version != SpecVersion || lc.Adversaries != nil || lc.Ks != nil {
+		t.Errorf("canonical spec keeps legacy fields: %+v", lc)
+	}
+
+	if SpecHash(legacy) != SpecHash(scenario) {
+		t.Error("legacy and scenario forms hash to different spec hashes")
+	}
+	for _, probe := range []struct {
+		adv  string
+		n, k int
+	}{{"random-tree", 8, -1}, {"k-leaves", 16, 2}, {"k-leaves", 8, 3}} {
+		if cellKeyFor(t, legacy, probe.adv, probe.n, probe.k) != cellKeyFor(t, scenario, probe.adv, probe.n, probe.k) {
+			t.Errorf("cache key for %s/n=%d/k=%d differs between forms", probe.adv, probe.n, probe.k)
+		}
+	}
+
+	lo, err := RunSpec(context.Background(), legacy, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := RunSpec(context.Background(), scenario, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(artifactBytes(t, lo), artifactBytes(t, so)) {
+		t.Error("legacy-form artifact differs from scenario-form artifact")
+	}
+	// The canonical cell names keep the pre-v2 shape for the k families.
+	if _, ok := CellByKey(lo.Cells, "k-leaves/n=16/k=2"); !ok {
+		t.Errorf("expected cell k-leaves/n=16/k=2; cells: %+v", lo.Cells)
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing a canonical spec is identity.
+func TestCanonicalIdempotent(t *testing.T) {
+	spec := detSpec()
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := canon.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon, again) {
+		t.Errorf("canonicalization not idempotent:\n%+v\nvs\n%+v", canon, again)
+	}
+}
+
+// TestAxisExpansionCrossProduct: several axis-valued params expand to
+// their cross product, first declared param outermost.
+func TestAxisExpansionCrossProduct(t *testing.T) {
+	grounds, err := expandScenario(Scenario{
+		Adversary: "two-phase-path",
+		Params:    map[string]any{"switch_at": []any{1, 2}, "prefix": []any{3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, g := range grounds {
+		got = append(got, g.canon)
+	}
+	want := []string{
+		`two-phase-path{"prefix":3,"switch_at":1}`,
+		`two-phase-path{"prefix":4,"switch_at":1}`,
+		`two-phase-path{"prefix":3,"switch_at":2}`,
+		`two-phase-path{"prefix":4,"switch_at":2}`,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("expansion = %v, want %v", got, want)
+	}
+}
+
+// TestScenarioDefaultsFill: omitted params with defaults are filled into
+// the canonical form, so the same grid spelled with and without explicit
+// defaults shares identities.
+func TestScenarioDefaultsFill(t *testing.T) {
+	implicit, err := expandScenario(Scenario{Adversary: "two-phase-path"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := expandScenario(Scenario{
+		Adversary: "two-phase-path",
+		Params:    map[string]any{"switch_at": 0, "prefix": 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(implicit) != 1 || len(explicit) != 1 || implicit[0].canon != explicit[0].canon {
+		t.Errorf("defaults not canonical: %v vs %v", implicit, explicit)
+	}
+}
+
+// TestTwoPhasePathScenarioRuns: the multi-param built-in family runs
+// through a campaign and achieves a plausible broadcast time.
+func TestTwoPhasePathScenarioRuns(t *testing.T) {
+	spec := Spec{
+		Scenarios: []Scenario{{Adversary: "two-phase-path", Params: map[string]any{"switch_at": 4, "prefix": 4}}},
+		Ns:        []int{8},
+		Trials:    2,
+		Seed:      1,
+	}
+	o, err := RunSpec(context.Background(), spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Failed != 0 {
+		t.Fatalf("two-phase campaign failed: %v", o.Errors)
+	}
+	cell, ok := CellByKey(o.Cells, "two-phase-path/n=8/switch_at=4/prefix=4")
+	if !ok {
+		t.Fatalf("cell missing; cells: %+v", o.Cells)
+	}
+	// The schedule is deterministic, so every trial agrees; broadcast on
+	// n=8 needs at least a handful of path rounds.
+	if cell.Mean < 1 || cell.Min != cell.Max {
+		t.Errorf("two-phase cell implausible: %+v", cell)
+	}
+}
+
+// TestRegisterValidation: the registry rejects malformed and duplicate
+// families.
+func TestRegisterValidation(t *testing.T) {
+	cases := map[string]Family{
+		"empty name":      {New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+		"nil constructor": {Name: "t-nil-ctor"},
+		"dup family":      {Name: "random-tree", New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+		"unnamed param": {Name: "t-unnamed", Params: []Param{{Kind: IntParam}},
+			New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+		"dup param": {Name: "t-dup-param", Params: []Param{{Name: "a", Kind: IntParam}, {Name: "a", Kind: IntParam}},
+			New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+		"bad kind": {Name: "t-bad-kind", Params: []Param{{Name: "a", Kind: "complex"}},
+			New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+		"bad default": {Name: "t-bad-default", Params: []Param{{Name: "a", Kind: IntParam, Default: "x"}},
+			New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+		"portfolio reserved": {Name: "t-portfolio", Portfolio: true,
+			New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil }},
+	}
+	for name, f := range cases {
+		if err := Register(f); err == nil {
+			t.Errorf("%s: Register accepted %+v", name, f)
+		}
+	}
+}
+
+// TestRegisterNormalizesDefaults: Families() exposes registered defaults
+// in canonical form (numbers as float64), without mutating the caller's
+// Param slice.
+func TestRegisterNormalizesDefaults(t *testing.T) {
+	params := []Param{{Name: "d", Kind: IntParam, Default: 7}}
+	if err := Register(Family{
+		Name: "t-defaults", Params: params,
+		New: func(int, Params, *rng.Source) (core.Adversary, error) { return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := familyByName("t-defaults")
+	if !ok {
+		t.Fatal("family not registered")
+	}
+	if d, isFloat := f.Params[0].Default.(float64); !isFloat || d != 7 {
+		t.Errorf("stored default = %#v, want float64(7)", f.Params[0].Default)
+	}
+	if _, stillInt := params[0].Default.(int); !stillInt {
+		t.Errorf("Register mutated the caller's Param slice: %#v", params[0].Default)
+	}
+}
+
+// TestTwoPhaseInfeasiblePrefixSkipped: a prefix longer than n skips that
+// grid point (like k > n−1) instead of failing every trial at runtime.
+func TestTwoPhaseInfeasiblePrefixSkipped(t *testing.T) {
+	spec := Spec{
+		Scenarios: []Scenario{{Adversary: "two-phase-path", Params: map[string]any{"prefix": 16}}},
+		Ns:        []int{8, 32},
+		Trials:    2,
+		Seed:      1,
+	}
+	o, err := RunSpec(context.Background(), spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Failed != 0 || o.Jobs != 2 {
+		t.Fatalf("infeasible prefix not skipped: jobs=%d failed=%d errors=%v", o.Jobs, o.Failed, o.Errors)
+	}
+	if _, ok := CellByKey(o.Cells, "two-phase-path/n=32/switch_at=0/prefix=16"); !ok {
+		t.Errorf("feasible cell missing: %+v", o.Cells)
+	}
+}
+
+// TestInfeasibleScenarioJobsError: a feasible-at-validate-time scenario
+// whose construction fails at run time reports the error with the cell
+// named, instead of panicking the worker.
+func TestConstructionErrorNamesCell(t *testing.T) {
+	if err := Register(Family{
+		Name: "t-always-errors",
+		New: func(int, Params, *rng.Source) (core.Adversary, error) {
+			return nil, context.DeadlineExceeded // any error will do
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Scenarios: []Scenario{{Adversary: "t-always-errors"}}, Ns: []int{4}, Trials: 2, Seed: 1}
+	o, err := RunSpec(context.Background(), spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", o.Failed)
+	}
+	if !strings.Contains(o.Errors[0], "t-always-errors/n=4") {
+		t.Errorf("construction error not cell-named: %q", o.Errors[0])
+	}
+}
+
+// TestCustomFamilyFullServiceLayer registers a parameterized custom
+// family through the open registry and drives it through the whole
+// service stack: campaign run, content-addressed cache, checkpoint
+// write + resume — with byte-identical artifacts throughout.
+func TestCustomFamilyFullServiceLayer(t *testing.T) {
+	// A "lazy-star" adversary: plays the star rooted at (round+offset) mod
+	// n — broadcast completes in 1 round regardless, keeping the test fast
+	// and the expected mean pinned.
+	if err := Register(Family{
+		Name:   "t-lazy-star",
+		Doc:    "star rooted at (round+offset) mod n",
+		Params: []Param{{Name: "offset", Kind: IntParam, Default: 0, Doc: "root offset"}},
+		New: func(n int, p Params, _ *rng.Source) (core.Adversary, error) {
+			offset := p.Int("offset")
+			return adversary.Func(func(v core.View) *tree.Tree {
+				s, err := tree.Star(v.N(), (v.Round()+offset)%v.N())
+				if err != nil {
+					return nil
+				}
+				return s
+			}), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := Spec{
+		Name:      "custom",
+		Scenarios: []Scenario{{Adversary: "t-lazy-star", Params: map[string]any{"offset": []any{0, 1}}}},
+		Ns:        []int{6, 9},
+		Trials:    3,
+		Seed:      7,
+	}
+
+	plain, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Failed != 0 || plain.Jobs != 2*2*3 {
+		t.Fatalf("custom campaign wrong shape: %+v errors=%v", plain, plain.Errors)
+	}
+	cell, ok := CellByKey(plain.Cells, "t-lazy-star/n=6/offset=1")
+	if !ok || cell.Mean != 1 {
+		t.Fatalf("custom cell missing or wrong: %+v ok=%v", cell, ok)
+	}
+	want := artifactBytes(t, plain)
+
+	// Cache round-trip: cold populates, warm serves everything.
+	c := cache.NewMemory()
+	if _, err := RunSpec(context.Background(), spec, Config{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunSpec(context.Background(), spec, Config{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != warm.Jobs || warm.Executed != 0 {
+		t.Errorf("custom family not cacheable: hits/executed = %d/%d", warm.CacheHits, warm.Executed)
+	}
+	if !bytes.Equal(artifactBytes(t, warm), want) {
+		t.Error("cached custom artifact differs")
+	}
+
+	// Checkpoint round-trip: record a full run, then resume from the file.
+	path := filepath.Join(t.TempDir(), "custom.ckpt")
+	cf, err := OpenCheckpointFile(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpec(context.Background(), spec, cf.Wire(Config{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeSpec(context.Background(), spec, cp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Reused != resumed.Jobs {
+		t.Errorf("resume reused %d/%d jobs", resumed.Reused, resumed.Jobs)
+	}
+	if !bytes.Equal(artifactBytes(t, resumed), want) {
+		t.Error("resumed custom artifact differs")
+	}
+}
+
+// TestParseScenario covers both accepted command-line forms.
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("random-tree")
+	if err != nil || sc.Adversary != "random-tree" || sc.Params != nil {
+		t.Errorf("bare name: %+v, %v", sc, err)
+	}
+	sc, err = ParseScenario(`{"adversary":"k-leaves","params":{"k":[2,4]}}`)
+	if err != nil || sc.Adversary != "k-leaves" || sc.Params["k"] == nil {
+		t.Errorf("JSON form: %+v, %v", sc, err)
+	}
+	for _, bad := range []string{"", "   ", `{"adversary":"x","bogus":1}`, `{"adversary":`} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestFamiliesOrderStable: built-ins come first in declaration order, so
+// the experiment portfolio and legacy expansion never reshuffle.
+func TestFamiliesOrderStable(t *testing.T) {
+	names := Adversaries()
+	wantPrefix := []string{"static-path", "random-tree", "random-path", "ascending-path",
+		"block-leader", "min-gain", "k-leaves", "k-inner", "two-phase-path"}
+	if len(names) < len(wantPrefix) {
+		t.Fatalf("registry too small: %v", names)
+	}
+	if !reflect.DeepEqual(names[:len(wantPrefix)], wantPrefix) {
+		t.Errorf("builtin order = %v, want %v", names[:len(wantPrefix)], wantPrefix)
+	}
+}

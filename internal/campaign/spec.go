@@ -10,96 +10,57 @@ import (
 	"io"
 	"os"
 
-	"dyntreecast/internal/adversary"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/gossip"
 	"dyntreecast/internal/rng"
-	"dyntreecast/internal/tree"
 )
 
 // EngineVersion names the simulation semantics that cell results depend
 // on. It participates in every cache key and checkpoint hash, so bumping
 // it (whenever engines, adversaries, or stream derivation change results)
 // invalidates stale stored cells instead of silently serving them.
-const EngineVersion = "dyntreecast-engine/2"
+// Version 3 marks spec schema v2: cell identities hash canonicalized
+// scenario parameters instead of the old closed adversary/k form.
+const EngineVersion = "dyntreecast-engine/3"
 
-// Spec declaratively describes a campaign: the full cross product of
-// Adversaries × Ns (× Ks for the k-parameterized adversaries) × Trials,
-// run toward Goal, seeded by Seed. A Spec plus its seed fully determines
-// the campaign's Outcome, independent of worker count.
+// SpecVersion is the current spec schema version: the scenario form.
+// Specs with Version 0 or 1 may use the legacy adversaries/ks fields,
+// which Canonical converts into scenarios.
+const SpecVersion = 2
+
+// Spec declaratively describes a campaign: the cross product of
+// Scenarios × Ns × Trials, run toward Goal, seeded by Seed. A Spec plus
+// its seed fully determines the campaign's Outcome, independent of
+// worker count.
+//
+// Two schema forms are accepted (the Version field selects; see
+// Canonical):
+//
+//   - scenario form (Version 2, or 0 with Scenarios set): each Scenario
+//     names a registered adversary family with a JSON parameter
+//     assignment; array-valued params expand as axes;
+//   - legacy form (Version 1, or 0 with Adversaries set): a list of
+//     family names plus one shared Ks axis consumed by the families
+//     declaring a required "k" param. Canonical rewrites it into
+//     scenarios, so both spellings of a grid share cache keys,
+//     checkpoints, and artifacts byte for byte.
 type Spec struct {
-	Name        string   `json:"name,omitempty"`
-	Adversaries []string `json:"adversaries"`
-	Ns          []int    `json:"ns"`
-	Ks          []int    `json:"ks,omitempty"` // consumed only by k-parameterized adversaries
-	Trials      int      `json:"trials"`
-	Seed        uint64   `json:"seed"`
-	Goal        string   `json:"goal,omitempty"`       // "broadcast" (default) or "gossip"
-	MaxRounds   int      `json:"max_rounds,omitempty"` // 0 = the engine default n²+1
+	Version     int        `json:"version,omitempty"`
+	Name        string     `json:"name,omitempty"`
+	Scenarios   []Scenario `json:"scenarios,omitempty"`
+	Adversaries []string   `json:"adversaries,omitempty"` // legacy form
+	Ks          []int      `json:"ks,omitempty"`          // legacy form's shared k axis
+	Ns          []int      `json:"ns"`
+	Trials      int        `json:"trials"`
+	Seed        uint64     `json:"seed"`
+	Goal        string     `json:"goal,omitempty"`       // "broadcast" (default) or "gossip"
+	MaxRounds   int        `json:"max_rounds,omitempty"` // 0 = the engine default n²+1
 }
 
-// Factory builds a named adversary for one job. NeedsK marks the
-// restricted families that consume the spec's Ks axis.
-type Factory struct {
-	Name   string
-	NeedsK bool
-	New    func(n, k int, src *rng.Source) core.Adversary
-}
-
-// Registry returns the adversaries a Spec may name, in canonical order
-// (the order also fixes job compile order). The first six are the
-// portfolio of experiment.Portfolio; the last two are the Zeiner et al.
-// restricted families.
-func Registry() []Factory {
-	return []Factory{
-		{Name: "static-path", New: func(n, _ int, _ *rng.Source) core.Adversary {
-			return adversary.Static{Tree: tree.IdentityPath(n)}
-		}},
-		{Name: "random-tree", New: func(_, _ int, src *rng.Source) core.Adversary {
-			return adversary.Random{Src: src}
-		}},
-		{Name: "random-path", New: func(_, _ int, src *rng.Source) core.Adversary {
-			return adversary.RandomPath{Src: src}
-		}},
-		{Name: "ascending-path", New: func(int, int, *rng.Source) core.Adversary {
-			return adversary.AscendingPath{}
-		}},
-		{Name: "block-leader", New: func(int, int, *rng.Source) core.Adversary {
-			return adversary.BlockLeader{}
-		}},
-		{Name: "min-gain", New: func(int, int, *rng.Source) core.Adversary {
-			return adversary.MinGain{}
-		}},
-		{Name: "k-leaves", NeedsK: true, New: func(_, k int, src *rng.Source) core.Adversary {
-			return adversary.KLeaves{K: k, Src: src}
-		}},
-		{Name: "k-inner", NeedsK: true, New: func(_, k int, src *rng.Source) core.Adversary {
-			return adversary.KInner{K: k, Src: src}
-		}},
-	}
-}
-
-// Adversaries returns the registry names in canonical order.
-func Adversaries() []string {
-	reg := Registry()
-	names := make([]string, len(reg))
-	for i, f := range reg {
-		names[i] = f.Name
-	}
-	return names
-}
-
-func factoryByName(name string) (Factory, bool) {
-	for _, f := range Registry() {
-		if f.Name == name {
-			return f, true
-		}
-	}
-	return Factory{}, false
-}
-
-// CellKey is the aggregation key of one grid point. k < 0 means the
-// adversary has no k axis.
+// CellKey is the aggregation key of one simple grid point, shared with
+// the experiment harness's hand-built grids. k < 0 means no k axis. Cells
+// of compiled scenario specs follow the same shape with every declared
+// param appended ("k-leaves/n=16/k=2").
 func CellKey(adv string, n, k int) string {
 	if k < 0 {
 		return fmt.Sprintf("%s/n=%d", adv, n)
@@ -107,47 +68,136 @@ func CellKey(adv string, n, k int) string {
 	return fmt.Sprintf("%s/n=%d/k=%d", adv, n, k)
 }
 
-// Validate reports the first structural problem of the spec, or nil.
-func (s *Spec) Validate() error {
-	if len(s.Adversaries) == 0 {
-		return fmt.Errorf("campaign: spec needs at least one adversary")
+// Canonical validates the spec and returns its canonical form: Version
+// set to SpecVersion, the legacy adversaries/ks fields rewritten into
+// scenarios, every scenario ground (axes expanded in declaration order,
+// defaults filled, values normalized). Canonicalization is idempotent,
+// and every equivalent spelling of a grid — legacy or scenario, axis
+// list or expanded — converges to the same canonical spec, which is why
+// they share cache keys, checkpoint hashes, and artifact bytes.
+func (s *Spec) Canonical() (Spec, error) {
+	canon, _, err := s.canonical()
+	return canon, err
+}
+
+func (s *Spec) canonical() (Spec, []groundScenario, error) {
+	scenarios, err := s.scenarioForm()
+	if err != nil {
+		return Spec{}, nil, err
 	}
-	needsK := false
-	for _, name := range s.Adversaries {
-		f, ok := factoryByName(name)
-		if !ok {
-			return fmt.Errorf("campaign: unknown adversary %q (known: %v)", name, Adversaries())
+	var grounds []groundScenario
+	for _, sc := range scenarios {
+		g, err := expandScenario(sc)
+		if err != nil {
+			return Spec{}, nil, err
 		}
-		needsK = needsK || f.NeedsK
-	}
-	if needsK && len(s.Ks) == 0 {
-		return fmt.Errorf("campaign: spec names a k-parameterized adversary but has no ks")
+		grounds = append(grounds, g...)
 	}
 	if len(s.Ns) == 0 {
-		return fmt.Errorf("campaign: spec needs at least one n")
+		return Spec{}, nil, fmt.Errorf("campaign: spec needs at least one n")
 	}
 	for _, n := range s.Ns {
 		if n < 1 {
-			return fmt.Errorf("campaign: n must be >= 1, got %d", n)
-		}
-	}
-	for _, k := range s.Ks {
-		if k < 1 {
-			return fmt.Errorf("campaign: k must be >= 1, got %d", k)
+			return Spec{}, nil, fmt.Errorf("campaign: n must be >= 1, got %d", n)
 		}
 	}
 	if s.Trials < 1 {
-		return fmt.Errorf("campaign: trials must be >= 1, got %d", s.Trials)
+		return Spec{}, nil, fmt.Errorf("campaign: trials must be >= 1, got %d", s.Trials)
 	}
 	switch s.Goal {
 	case "", "broadcast", "gossip":
 	default:
-		return fmt.Errorf("campaign: unknown goal %q (want broadcast or gossip)", s.Goal)
+		return Spec{}, nil, fmt.Errorf("campaign: unknown goal %q (want broadcast or gossip)", s.Goal)
 	}
 	if s.MaxRounds < 0 {
-		return fmt.Errorf("campaign: max_rounds must be >= 0, got %d", s.MaxRounds)
+		return Spec{}, nil, fmt.Errorf("campaign: max_rounds must be >= 0, got %d", s.MaxRounds)
 	}
-	return nil
+	canon := *s
+	canon.Version = SpecVersion
+	canon.Adversaries, canon.Ks = nil, nil
+	canon.Scenarios = make([]Scenario, len(grounds))
+	for i, g := range grounds {
+		canon.Scenarios[i] = g.scenario()
+	}
+	return canon, grounds, nil
+}
+
+// scenarioForm resolves which schema form the spec uses and returns its
+// scenarios (converting the legacy fields if needed).
+func (s *Spec) scenarioForm() ([]Scenario, error) {
+	switch {
+	case s.Version < 0 || s.Version > SpecVersion:
+		return nil, fmt.Errorf("campaign: unsupported spec version %d (this engine speaks <= %d)", s.Version, SpecVersion)
+	case s.Version == 1 && len(s.Scenarios) > 0:
+		return nil, fmt.Errorf("campaign: spec version 1 cannot carry scenarios (use version 2 or drop the version field)")
+	case s.Version == SpecVersion && (len(s.Adversaries) > 0 || len(s.Ks) > 0):
+		return nil, fmt.Errorf("campaign: spec version 2 uses scenarios, not adversaries/ks")
+	case len(s.Scenarios) > 0 && (len(s.Adversaries) > 0 || len(s.Ks) > 0):
+		return nil, fmt.Errorf("campaign: spec mixes scenarios with legacy adversaries/ks; use one form")
+	case len(s.Scenarios) > 0:
+		return s.Scenarios, nil
+	case len(s.Adversaries) == 0:
+		return nil, fmt.Errorf("campaign: spec needs at least one scenario (or a legacy adversaries list)")
+	}
+	// Legacy form: one scenario per name; families that require a "k"
+	// param receive the shared Ks axis.
+	for _, k := range s.Ks {
+		if k < 1 {
+			return nil, fmt.Errorf("campaign: k must be >= 1, got %d", k)
+		}
+	}
+	scenarios := make([]Scenario, 0, len(s.Adversaries))
+	ksAxis := make([]any, len(s.Ks))
+	for i, k := range s.Ks {
+		ksAxis[i] = k
+	}
+	for _, name := range s.Adversaries {
+		f, ok := familyByName(name)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown adversary %q (known: %v)", name, Adversaries())
+		}
+		if requiresK(f) {
+			if len(ksAxis) == 0 {
+				return nil, fmt.Errorf("campaign: spec names the k-parameterized adversary %q but has no ks", name)
+			}
+			scenarios = append(scenarios, Scenario{Adversary: name, Params: map[string]any{"k": ksAxis}})
+			continue
+		}
+		if missing := requiredParams(f); len(missing) > 0 {
+			return nil, fmt.Errorf("campaign: adversary %q requires params %v; use the scenario form", name, missing)
+		}
+		scenarios = append(scenarios, Scenario{Adversary: name})
+	}
+	return scenarios, nil
+}
+
+// requiresK reports whether the family consumes the legacy shared Ks
+// axis: it declares a required param named "k".
+func requiresK(f Family) bool {
+	for _, p := range f.Params {
+		if p.Name == "k" && p.Default == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// requiredParams lists the family's params with no default, other than
+// the legacy-bridged "k".
+func requiredParams(f Family) []string {
+	var out []string
+	for _, p := range f.Params {
+		if p.Default == nil && p.Name != "k" {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Validate reports the first structural problem of the spec, or nil.
+func (s *Spec) Validate() error {
+	_, err := s.Canonical()
+	return err
 }
 
 func (s *Spec) goal() core.Goal {
@@ -167,12 +217,14 @@ func (s *Spec) goalName() string {
 
 // cellIdentity is the canonical string of everything that determines one
 // cell's trial results: the engine version, the campaign seed, the goal
-// and round budget, and the cell coordinates. It deliberately excludes
-// the trial count — trial streams are split serially from the cell root,
-// so the trials of a smaller campaign are a prefix of a larger one's.
-func (s *Spec) cellIdentity(adv string, n, k int) string {
-	return fmt.Sprintf("%s|seed=%d|goal=%s|maxr=%d|adv=%s|n=%d|k=%d",
-		EngineVersion, s.Seed, s.goalName(), s.MaxRounds, adv, n, k)
+// and round budget, and the cell coordinates — the ground scenario's
+// canonical form (family name + sorted-key params JSON) and n. It
+// deliberately excludes the trial count — trial streams are split
+// serially from the cell root, so the trials of a smaller campaign are a
+// prefix of a larger one's.
+func (s *Spec) cellIdentity(g groundScenario, n int) string {
+	return fmt.Sprintf("%s|seed=%d|goal=%s|maxr=%d|scenario=%s|n=%d",
+		EngineVersion, s.Seed, s.goalName(), s.MaxRounds, g.canon, n)
 }
 
 // cellSeed derives the root seed of one cell's random streams by hashing
@@ -180,36 +232,37 @@ func (s *Spec) cellIdentity(adv string, n, k int) string {
 // campaign seed — not on where the cell sits in the grid — which is what
 // makes content-addressed caching of cells sound: the same cell in two
 // different specs (same seed) produces the same results.
-func (s *Spec) cellSeed(adv string, n, k int) uint64 {
-	sum := sha256.Sum256([]byte(s.cellIdentity(adv, n, k)))
+func (s *Spec) cellSeed(g groundScenario, n int) uint64 {
+	sum := sha256.Sum256([]byte(s.cellIdentity(g, n)))
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
 // cellCacheKey is the content address of one fully-run cell: the cell
 // identity plus the trial count, hashed. See DESIGN.md §3b.
-func (s *Spec) cellCacheKey(adv string, n, k int) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|trials=%d", s.cellIdentity(adv, n, k), s.Trials)))
+func (s *Spec) cellCacheKey(g groundScenario, n int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|trials=%d", s.cellIdentity(g, n), s.Trials)))
 	return hex.EncodeToString(sum[:])
 }
 
 // cellPlan records one grid cell of a compiled spec: its coordinates, its
 // cache key, and the indexes of its jobs in trial order.
 type cellPlan struct {
-	Cell   string // CellKey(adv, n, k)
+	Cell   string // display key (groundScenario.cellName)
 	Key    string // content address (cellCacheKey)
 	JobIdx []int  // job indexes, one per trial, in trial order
 }
 
 // Compile validates the spec and expands its grid into jobs. The grid is
-// walked in a fixed nested order (adversary, n, k, trial). Each cell's
-// random streams are derived content-addressed — a root source seeded by
-// a hash of (engine version, seed, goal, round budget, adversary, n, k),
-// split serially in trial order — so every cell's results are a pure
-// function of the spec's seed and the cell's own coordinates, independent
-// of what else the grid contains. Grid points where k is infeasible
-// (k > n−1) are skipped, mirroring the restricted experiments.
+// walked in a fixed nested order (scenario, n, trial), scenarios in
+// canonical order. Each cell's random streams are derived
+// content-addressed — a root source seeded by a hash of (engine version,
+// seed, goal, round budget, canonical scenario, n), split serially in
+// trial order — so every cell's results are a pure function of the
+// spec's seed and the cell's own coordinates, independent of what else
+// the grid contains. Grid points the family reports infeasible (e.g.
+// k > n−1 for the restricted families) are skipped.
 func (s *Spec) Compile() ([]Job, error) {
-	jobs, _, err := s.compile()
+	jobs, _, _, err := s.compile()
 	return jobs, err
 }
 
@@ -217,80 +270,69 @@ func (s *Spec) Compile() ([]Job, error) {
 // building closures or splitting sources — cheap enough to call on every
 // checkpoint open even for million-job grids.
 func (s *Spec) jobCount() (int, error) {
-	if err := s.Validate(); err != nil {
+	canon, grounds, err := s.canonical()
+	if err != nil {
 		return 0, err
 	}
 	total := 0
-	for _, name := range s.Adversaries {
-		f, _ := factoryByName(name)
-		ks := []int{-1}
-		if f.NeedsK {
-			ks = s.Ks
-		}
-		for _, n := range s.Ns {
-			for _, k := range ks {
-				if f.NeedsK && (k < 1 || k > n-1) {
-					continue
-				}
-				total += s.Trials
+	for _, g := range grounds {
+		for _, n := range canon.Ns {
+			if g.feasible(n) {
+				total += canon.Trials
 			}
 		}
 	}
 	if total == 0 {
-		return 0, fmt.Errorf("campaign: spec compiles to an empty grid (every k infeasible?)")
+		return 0, fmt.Errorf("campaign: spec compiles to an empty grid (every scenario infeasible?)")
 	}
 	return total, nil
 }
 
-func (s *Spec) compile() ([]Job, []cellPlan, error) {
-	if err := s.Validate(); err != nil {
-		return nil, nil, err
+func (s *Spec) compile() ([]Job, []cellPlan, Spec, error) {
+	canon, grounds, err := s.canonical()
+	if err != nil {
+		return nil, nil, Spec{}, err
 	}
-	goal := s.goal()
+	goal := canon.goal()
 	var opts []core.Option
-	if s.MaxRounds > 0 {
-		opts = append(opts, core.WithMaxRounds(s.MaxRounds))
+	if canon.MaxRounds > 0 {
+		opts = append(opts, core.WithMaxRounds(canon.MaxRounds))
 	}
 	var jobs []Job
 	var cells []cellPlan
-	for _, name := range s.Adversaries {
-		f, _ := factoryByName(name)
-		ks := []int{-1}
-		if f.NeedsK {
-			ks = s.Ks
-		}
-		for _, n := range s.Ns {
-			for _, k := range ks {
-				if f.NeedsK && (k < 1 || k > n-1) {
-					continue
-				}
-				cell := CellKey(name, n, k)
-				plan := cellPlan{Cell: cell, Key: s.cellCacheKey(name, n, k)}
-				root := rng.New(s.cellSeed(name, n, k))
-				for trial := 0; trial < s.Trials; trial++ {
-					plan.JobIdx = append(plan.JobIdx, len(jobs))
-					jobs = append(jobs, Job{
-						Index: len(jobs),
-						Cell:  cell,
-						Src:   root.Split(),
-						Run:   runGridPoint(f, n, k, cell, goal, opts),
-					})
-				}
-				cells = append(cells, plan)
+	for _, g := range grounds {
+		for _, n := range canon.Ns {
+			if !g.feasible(n) {
+				continue
 			}
+			cell := g.cellName(n)
+			plan := cellPlan{Cell: cell, Key: canon.cellCacheKey(g, n)}
+			root := rng.New(canon.cellSeed(g, n))
+			for trial := 0; trial < canon.Trials; trial++ {
+				plan.JobIdx = append(plan.JobIdx, len(jobs))
+				jobs = append(jobs, Job{
+					Index: len(jobs),
+					Cell:  cell,
+					Src:   root.Split(),
+					Run:   runGridPoint(g, n, cell, goal, opts),
+				})
+			}
+			cells = append(cells, plan)
 		}
 	}
 	if len(jobs) == 0 {
-		return nil, nil, fmt.Errorf("campaign: spec compiles to an empty grid (every k infeasible?)")
+		return nil, nil, Spec{}, fmt.Errorf("campaign: spec compiles to an empty grid (every scenario infeasible?)")
 	}
-	return jobs, cells, nil
+	return jobs, cells, canon, nil
 }
 
-func runGridPoint(f Factory, n, k int, cell string, goal core.Goal, opts []core.Option) func(context.Context, *rng.Source) ([]Measurement, error) {
+func runGridPoint(g groundScenario, n int, cell string, goal core.Goal, opts []core.Option) func(context.Context, *rng.Source) ([]Measurement, error) {
 	return func(_ context.Context, src *rng.Source) ([]Measurement, error) {
-		adv := f.New(n, k, src)
+		adv, err := g.family.New(n, g.params, src)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", cell, err)
+		}
 		var rounds int
-		var err error
 		if goal == core.Gossip {
 			rounds, err = gossip.Time(n, adv, opts...)
 		} else {
@@ -305,7 +347,9 @@ func runGridPoint(f Factory, n, k int, cell string, goal core.Goal, opts []core.
 
 // Outcome is the aggregated, machine-diffable result of a campaign run.
 // It deliberately carries no timestamps or host details: two runs of the
-// same spec produce byte-identical JSON regardless of worker count.
+// same spec produce byte-identical JSON regardless of worker count. The
+// embedded Spec is the canonical form, so every equivalent spelling of a
+// grid — legacy or scenario — emits identical artifact bytes.
 type Outcome struct {
 	Spec      Spec        `json:"spec"`
 	Jobs      int         `json:"jobs"`
@@ -345,7 +389,7 @@ type cellEntry struct {
 // is byte-identical to an uncached, uninterrupted run, because results
 // are observed in job-index order regardless of provenance.
 func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
-	jobs, cells, err := spec.compile()
+	jobs, cells, canon, err := spec.compile()
 	if err != nil {
 		return nil, err
 	}
@@ -419,7 +463,7 @@ func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
 		}
 	}
 	out := &Outcome{
-		Spec: spec, Jobs: len(jobs), Cells: Aggregate(results),
+		Spec: canon, Jobs: len(jobs), Cells: Aggregate(results),
 		CacheHits: cacheHits, Reused: reused,
 	}
 	for _, r := range results {
@@ -447,7 +491,9 @@ func covered(completed map[int]JobResult, idxs []int) bool {
 }
 
 // LoadSpec reads a JSON Spec from r, rejecting unknown fields so typos in
-// hand-written campaign files fail loudly.
+// hand-written campaign files fail loudly. Both schema forms are
+// accepted; call Canonical (or any of the run paths, which do) to
+// normalize.
 func LoadSpec(r io.Reader) (Spec, error) {
 	var spec Spec
 	dec := json.NewDecoder(r)

@@ -165,17 +165,26 @@ type NamedAdversary struct {
 }
 
 // Portfolio returns the standard adversary suite used across experiments:
-// the oblivious baselines and the adaptive heuristics. It is the
-// non-parameterized prefix of the campaign registry, in registry order.
+// the oblivious baselines and the adaptive heuristics. It is the set of
+// families flagged Portfolio in the campaign registry, in registry order
+// — a fixed six-member prefix, so user registrations never perturb the
+// paper-reproduction tables or their random streams.
 func Portfolio() []NamedAdversary {
 	var out []NamedAdversary
-	for _, f := range campaign.Registry() {
-		if f.NeedsK {
+	for _, f := range campaign.Families() {
+		if !f.Portfolio {
 			continue
 		}
 		build := f.New
-		out = append(out, NamedAdversary{Name: f.Name, New: func(n int, src *rng.Source) core.Adversary {
-			return build(n, -1, src)
+		name := f.Name
+		out = append(out, NamedAdversary{Name: name, New: func(n int, src *rng.Source) core.Adversary {
+			adv, err := build(n, nil, src)
+			if err != nil {
+				// Portfolio families take no params; construction cannot
+				// fail for them. A failure here is a registry bug.
+				panic(fmt.Sprintf("experiment: portfolio adversary %s: %v", name, err))
+			}
+			return adv
 		}})
 	}
 	return out

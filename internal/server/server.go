@@ -6,7 +6,12 @@
 //
 // Endpoints (README.md "Serving campaigns" has curl examples):
 //
-//	POST /campaigns            submit a JSON Spec → {"id", "jobs"}
+//	POST /campaigns            submit a JSON Spec → {"id", "jobs"}.
+//	                           Both spec schema forms are accepted — the
+//	                           scenario form (version 2) and the legacy
+//	                           adversaries/ks form — and are canonicalized
+//	                           on arrival, so equivalent submissions share
+//	                           checkpoints, cache cells, and artifacts.
 //	GET  /campaigns            list campaigns with status
 //	GET  /campaigns/{id}       status + per-cell aggregates (live or final)
 //	GET  /campaigns/{id}/stream  per-measurement stream: JSONL by default,
@@ -172,6 +177,17 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	spec, err := campaign.LoadSpec(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Canonicalize before anything else: legacy-form submissions
+	// (adversaries/ks) and scenario-form submissions of the same grid
+	// collapse to one canonical spec, so they share ids-per-hash,
+	// checkpoints, cache cells, and artifact bytes. A bad spec — unknown
+	// family, bad scenario params, unsupported version — is a 400 here,
+	// before any job runs.
+	spec, err = spec.Canonical()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -1,13 +1,18 @@
-// Command checkdocs enforces the repository's documentation floor: every
-// Go package — the root, everything under internal/ and cmd/, the
-// examples, and these scripts — must carry a package comment saying what
-// it models and why it exists. CI runs it as part of the docs job
-// (.github/workflows/ci.yml); it exits nonzero listing every package
-// that lacks one.
+// Command checkdocs enforces the repository's documentation floor. Two
+// gates, both run by CI's docs job (.github/workflows/ci.yml):
+//
+//   - every Go package — the root, everything under internal/ and cmd/,
+//     the examples, and these scripts — must carry a package comment
+//     saying what it models and why it exists;
+//   - every exported identifier of the root package (the public facade
+//     downstream users import) must carry a doc comment.
+//
+// It exits nonzero listing every violation.
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -27,14 +32,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "checkdocs:", err)
 		os.Exit(2)
 	}
+	undocumented, err := checkExported(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdocs:", err)
+		os.Exit(2)
+	}
+	bad := false
 	if len(missing) > 0 {
+		bad = true
 		fmt.Fprintln(os.Stderr, "checkdocs: packages without a package comment:")
 		for _, dir := range missing {
 			fmt.Fprintf(os.Stderr, "  %s\n", dir)
 		}
+	}
+	if len(undocumented) > 0 {
+		bad = true
+		fmt.Fprintln(os.Stderr, "checkdocs: exported root-package identifiers without doc comments:")
+		for _, name := range undocumented {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
+	}
+	if bad {
 		os.Exit(1)
 	}
-	fmt.Println("checkdocs: every package has a package comment")
+	fmt.Println("checkdocs: every package has a package comment and the root API is fully documented")
 }
 
 // check walks root and returns the directories holding a Go package with
@@ -82,4 +103,72 @@ func check(root string) ([]string, error) {
 	}
 	sort.Strings(missing)
 	return missing, nil
+}
+
+// checkExported parses the non-test Go files directly in root (the
+// public facade package) and returns every exported top-level identifier
+// that carries no doc comment — on its own spec or on its enclosing
+// declaration group (the "// Goals." group-comment style counts for all
+// of the group's specs).
+func checkExported(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var undocumented []string
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(root, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, decl := range f.Decls {
+			undocumented = append(undocumented, undocumentedInDecl(decl, name)...)
+		}
+	}
+	sort.Strings(undocumented)
+	return undocumented, nil
+}
+
+// undocumentedInDecl returns the exported, doc-less identifiers declared
+// by one top-level declaration, tagged with their file.
+func undocumentedInDecl(decl ast.Decl, file string) []string {
+	var out []string
+	flag := func(name string) { out = append(out, fmt.Sprintf("%s: %s", file, name)) }
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv != nil {
+			return nil // methods document through their type
+		}
+		if d.Name.IsExported() && !hasDoc(d.Doc) {
+			flag(d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := hasDoc(d.Doc)
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !hasDoc(s.Doc) && !(groupDoc && len(d.Specs) == 1) {
+					flag(s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				documented := hasDoc(s.Doc) || groupDoc
+				for _, n := range s.Names {
+					if n.IsExported() && !documented {
+						flag(n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasDoc(c *ast.CommentGroup) bool {
+	return c != nil && strings.TrimSpace(c.Text()) != ""
 }

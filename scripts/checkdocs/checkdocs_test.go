@@ -60,3 +60,66 @@ func TestRepositoryIsFullyDocumented(t *testing.T) {
 		t.Errorf("packages without package comments: %v", missing)
 	}
 }
+
+// TestCheckExported covers the root-API gate: exported identifiers need
+// doc comments, with the standard allowances (group comments for
+// const/var blocks, methods riding on their type, unexported free).
+func TestCheckExported(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "api.go"), `// Package api is the facade.
+package api
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// DoDocumented is fine.
+func DoDocumented() {}
+
+func DoUndocumented() {}
+
+func unexported() {}
+
+// Method docs are not required on the method itself.
+type Receiver struct{}
+
+func (Receiver) Exported() {}
+
+// Grouped constants may share a block comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var LoneUndocumented = 3
+`)
+	// Subdirectories are not part of the root package and are not checked.
+	write(t, filepath.Join(root, "sub", "sub.go"), "// Package sub is internal-ish.\npackage sub\n\nfunc Bare() {}\n")
+
+	got, err := checkExported(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"api.go: DoUndocumented", "api.go: LoneUndocumented", "api.go: Undocumented"}
+	if len(got) != len(want) {
+		t.Fatalf("checkExported = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("checkExported[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRootAPIIsFullyDocumented runs the exported-identifier gate against
+// this repository's facade — the CI docs job in executable-test form.
+func TestRootAPIIsFullyDocumented(t *testing.T) {
+	undocumented, err := checkExported(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("exported root identifiers without doc comments: %v", undocumented)
+	}
+}
