@@ -323,6 +323,50 @@ func BenchmarkNonsplitGame(b *testing.B) {
 	}
 }
 
+// BenchmarkTrialHotPath is the headline benchmark of the batched trial
+// pipeline: one complete random-adversary broadcast trial per op, on the
+// seed per-trial path (fresh engine + fresh allocating adversary each
+// trial, the pre-batching pipeline) versus the batched path (one pooled
+// core.Runner plus one reusable adversary, Reset per trial). Both paths
+// compute identical round counts from identical streams; only the
+// allocation profile differs. With -benchmem (or ReportAllocs, always
+// on here) the batched variant must show amortized O(1) allocations per
+// trial — and therefore per round — versus the per-trial path's
+// O(n + rounds·n) (the acceptance bar is a 5× allocs/op reduction; the
+// measured gap is ~3 orders of magnitude, recorded in EXPERIMENTS.md).
+func BenchmarkTrialHotPath(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("per-trial/n%d", n), func(b *testing.B) {
+			src := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BroadcastTime(n, adversary.Random{Src: src}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batched/n%d", n), func(b *testing.B) {
+			src := rng.New(1)
+			r := core.NewRunner()
+			adv := adversary.NewReusableRandom()
+			// Warm the arena so the steady state is measured; the one-time
+			// buffer growth is amortized over the cell's trials in real runs.
+			adv.Reset(src)
+			if _, err := r.BroadcastTime(n, adv); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adv.Reset(src)
+				if _, err := r.BroadcastTime(n, adv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCampaignParallel measures the campaign runner on a
 // random-adversary grid: serial (workers=1) versus the GOMAXPROCS worker
 // pool on the identical spec. Both sub-benchmarks report simulated

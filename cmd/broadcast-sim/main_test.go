@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed (the binary writes results straight to stdout).
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// TestRunSingleTrace: one deterministic run with the static schedule
+// family's strongest sibling; ascending-path at n=8 completes in exactly
+// 7 rounds, pinned by the §2 analysis.
+func TestRunSingleTrace(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-n", "8", "-adversary", "ascending-path", "-trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "completed in 7 rounds") {
+		t.Errorf("missing expected completion line:\n%s", out)
+	}
+	if !strings.Contains(out, "round") || !strings.Contains(out, "broadcasters") {
+		t.Errorf("trace output incomplete:\n%s", out)
+	}
+}
+
+// TestRunTrialsSummary: the mini-campaign path aggregates over the
+// worker pool and is identical for every -workers value.
+func TestRunTrialsSummary(t *testing.T) {
+	var outs []string
+	for _, workers := range []string{"1", "3"} {
+		out, err := captureStdout(t, func() error {
+			return run([]string{"-n", "12", "-adversary", "random-tree", "-seed", "5",
+				"-trials", "6", "-workers", workers})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "trials=6") || !strings.Contains(out, "rounds: mean=") {
+			t.Errorf("workers=%s: summary incomplete:\n%s", workers, out)
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("summary depends on -workers:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":       {"-no-such-flag"},
+		"bad n":              {"-n", "0"},
+		"bad trials":         {"-trials", "0"},
+		"unknown adversary":  {"-adversary", "omniscient"},
+		"unknown goal":       {"-goal", "multicast"},
+		"trace with trials":  {"-trials", "3", "-trace"},
+		"search with trials": {"-adversary", "beam-search", "-trials", "3"},
+	}
+	for name, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}

@@ -21,6 +21,13 @@
 //	 "scenarios": [{"adversary": "k-leaves", "params": {"k": [2, 4]}}],
 //	 "ns": [32, 64], "trials": 20, "seed": 1}
 //
+// Jobs are scheduled as cell batches: a cell's trials run sequentially on
+// one worker against a pooled engine arena, which is what keeps large
+// grids allocation-free (see DESIGN.md §3d). -batch caps the batch size
+// (default 0 = whole cell; 1 recovers one-trial-per-job scheduling, which
+// can help few-cell grids spread across more cores). The artifact is
+// byte-identical for every -batch and -workers combination.
+//
 // Interrupting the run (SIGINT/SIGTERM) cancels the pool promptly; the
 // aggregate of the jobs that did finish is still written.
 //
@@ -73,6 +80,7 @@ func run(args []string) error {
 		maxR     = fs.Int("max-rounds", 0, "round budget per run (0 = engine default n^2+1)")
 		name     = fs.String("name", "", "campaign name (recorded in artifacts)")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		batch    = fs.Int("batch", 0, "trials per scheduled cell batch (0 = whole cell, 1 = per-trial); output is identical for every value")
 		format   = fs.String("format", "table", "output: table, csv, json, jsonl")
 		outPath  = fs.String("out", "", "write output to this file instead of stdout")
 		progress = fs.Bool("progress", false, "print job progress to stderr")
@@ -121,7 +129,7 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := campaign.Config{Workers: *workers}
+	cfg := campaign.Config{Workers: *workers, Batch: *batch}
 	if *progress {
 		cfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d jobs", done, total)

@@ -44,6 +44,7 @@ func main() {
 type options struct {
 	addr          string
 	workers       int
+	batch         int
 	checkpointDir string
 	cacheDir      string
 	drainTimeout  time.Duration
@@ -54,6 +55,7 @@ func parseFlags(args []string) (options, error) {
 	var o options
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&o.workers, "workers", 0, "worker pool size per campaign (0 = GOMAXPROCS)")
+	fs.IntVar(&o.batch, "batch", 0, "trials per scheduled cell batch (0 = whole cell); artifacts are identical for every value")
 	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "checkpoint campaigns to this directory (enables resume)")
 	fs.StringVar(&o.cacheDir, "cache", "", "content-addressed cell cache directory shared across campaigns")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
@@ -69,7 +71,7 @@ func parseFlags(args []string) (options, error) {
 // build turns parsed options into a campaign server (creating cache and
 // checkpoint directories as needed).
 func build(o options, logf func(string, ...any)) (*server.Server, error) {
-	opts := server.Options{Workers: o.workers, CheckpointDir: o.checkpointDir, Logf: logf}
+	opts := server.Options{Workers: o.workers, Batch: o.batch, CheckpointDir: o.checkpointDir, Logf: logf}
 	if o.checkpointDir != "" {
 		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("creating -checkpoint-dir: %w", err)

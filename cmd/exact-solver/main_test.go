@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// TestRunSmallNs solves the game exactly for n <= 4: t*(T2) = 1,
+// t*(T3) = 2, t*(T4) = 4 (the E7 values of EXPERIMENTS.md).
+func TestRunSmallNs(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-max-n", "4"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"n=2  t*=1", "n=3  t*=2", "n=4  t*=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSchedule prints an optimal schedule alongside the values.
+func TestRunSchedule(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-max-n", "3", "-schedule"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimal schedule for n=3") || !strings.Contains(out, "round 1:") {
+		t.Errorf("schedule output incomplete:\n%s", out)
+	}
+}
+
+// TestRunDeep exercises the anytime deep-line witness search at the
+// smallest interesting n; it must certify at least the exact value 2.
+func TestRunDeep(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-deep", "3", "-budget", "200"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n=3 budget=200: certified t*(Tn) >= 2") {
+		t.Errorf("deep-line output unexpected:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":           {"-no-such-flag"},
+		"max-n beyond safe zone": {"-max-n", "7"}, // needs -force
+	}
+	for name, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}

@@ -53,6 +53,7 @@ func run(args []string) error {
 		maxN    = fs.Int("max-n", 5, "largest n for the exact experiment")
 		asCSV   = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		wrkrs   = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		batch   = fs.Int("batch", 0, "trials per scheduled cell batch (0 = whole cell); output is identical for every value")
 		outPath = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,25 +68,25 @@ func run(args []string) error {
 		return fmt.Errorf("-ks: %w", err)
 	}
 
-	opt := experiment.WithWorkers(*wrkrs)
+	opts := []experiment.Option{experiment.WithWorkers(*wrkrs), experiment.WithBatch(*batch)}
 	var table *experiment.Table
 	switch *exp {
 	case "figure1":
-		table, err = experiment.Figure1(ns, *seed, opt)
+		table, err = experiment.Figure1(ns, *seed, opts...)
 	case "theorem31":
-		table, err = experiment.Theorem31(ns, *seed, opt)
+		table, err = experiment.Theorem31(ns, *seed, opts...)
 	case "static":
 		table, err = experiment.StaticPath(ns)
 	case "restricted":
-		table, err = experiment.Restricted(ns, ks, *trials, *seed, opt)
+		table, err = experiment.Restricted(ns, ks, *trials, *seed, opts...)
 	case "nonsplit":
-		table, err = experiment.Nonsplit(ns, *trials, *seed, opt)
+		table, err = experiment.Nonsplit(ns, *trials, *seed, opts...)
 	case "exact":
-		table, err = experiment.Exact(*maxN, *seed, opt)
+		table, err = experiment.Exact(*maxN, *seed, opts...)
 	case "gossip":
-		table, err = experiment.GossipVsBroadcast(ns, *trials, *seed, opt)
+		table, err = experiment.GossipVsBroadcast(ns, *trials, *seed, opts...)
 	case "grid":
-		table, err = gridTable(scenarios, ns, *trials, *seed, *wrkrs)
+		table, err = gridTable(scenarios, ns, *trials, *seed, *wrkrs, *batch)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -110,7 +111,7 @@ func run(args []string) error {
 // gridTable runs an ad-hoc scenario grid through the campaign runner and
 // renders its aggregates — the scenario-form sibling of cmd/campaign for
 // quick sweeps over any registered family.
-func gridTable(scenarios []campaign.Scenario, ns []int, trials int, seed uint64, workers int) (*experiment.Table, error) {
+func gridTable(scenarios []campaign.Scenario, ns []int, trials int, seed uint64, workers, batch int) (*experiment.Table, error) {
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("-exp grid needs at least one -scenario")
 	}
@@ -122,7 +123,7 @@ func gridTable(scenarios []campaign.Scenario, ns []int, trials int, seed uint64,
 		Trials:    trials,
 		Seed:      seed,
 	}
-	outcome, err := campaign.RunSpec(context.Background(), spec, campaign.Config{Workers: workers})
+	outcome, err := campaign.RunSpec(context.Background(), spec, campaign.Config{Workers: workers, Batch: batch})
 	if err != nil {
 		return nil, err
 	}

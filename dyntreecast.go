@@ -68,7 +68,21 @@ type (
 	Rand = rng.Source
 	// ExactSolver computes exact t*(Tn) for small n.
 	ExactSolver = gamesolver.Solver
+	// Runner is the allocation-free trial driver: it owns one reusable
+	// Engine and runs trial after trial on it (Reset instead of
+	// reallocation), returning round counts identical to Run's. One
+	// Runner per goroutine; see BenchmarkTrialHotPath for the effect.
+	Runner = core.Runner
+	// ReusableAdversary is an adversary whose per-n scratch persists
+	// across trials: Reset rebinds it to a fresh trial's random source.
+	// An AdversaryFamily may construct one via its NewReusable hook to
+	// opt into cross-trial reuse in the batched campaign pipeline.
+	ReusableAdversary = campaign.ReusableAdversary
 )
+
+// NewRunner returns an empty Runner; its engine is built at the first
+// run and resized on demand.
+func NewRunner() *Runner { return core.NewRunner() }
 
 // Goals.
 const (
@@ -398,6 +412,16 @@ func CampaignWithCheckpoint(path string) CampaignOption {
 // calls are serialized.
 func CampaignWithProgress(fn func(done, total int)) CampaignOption {
 	return func(s *campaignSettings) { s.cfg.Progress = fn }
+}
+
+// CampaignWithBatch caps how many trials of one grid cell are scheduled
+// as a single unit on one worker. The default (0) batches whole cells —
+// a cell's trials run sequentially against a pooled engine arena, the
+// fastest configuration for large grids; 1 recovers one-trial-per-job
+// scheduling, which can spread a few-cell grid across more cores. The
+// outcome is byte-identical for every value.
+func CampaignWithBatch(batch int) CampaignOption {
+	return func(s *campaignSettings) { s.cfg.Batch = batch }
 }
 
 func runCampaign(ctx context.Context, spec Campaign, workers int, opts []CampaignOption) (*CampaignOutcome, error) {

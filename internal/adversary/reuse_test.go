@@ -1,0 +1,129 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/rng"
+)
+
+// resettable is the reuse contract under test (structurally identical to
+// campaign.ReusableAdversary; redeclared here to keep the adversary
+// package's tests free of a campaign dependency).
+type resettable interface {
+	core.Adversary
+	Reset(src *rng.Source)
+}
+
+// reusePair couples an allocating adversary constructor with its
+// reusable sibling for the differential suite.
+type reusePair struct {
+	name  string
+	plain func(src *rng.Source) core.Adversary
+	reuse func() resettable
+}
+
+func reusePairs() []reusePair {
+	return []reusePair{
+		{
+			name:  "random",
+			plain: func(src *rng.Source) core.Adversary { return adversary.Random{Src: src} },
+			reuse: func() resettable { return adversary.NewReusableRandom() },
+		},
+		{
+			name:  "random-path",
+			plain: func(src *rng.Source) core.Adversary { return adversary.RandomPath{Src: src} },
+			reuse: func() resettable { return adversary.NewReusableRandomPath() },
+		},
+		{
+			name:  "k-leaves",
+			plain: func(src *rng.Source) core.Adversary { return adversary.KLeaves{K: 3, Src: src} },
+			reuse: func() resettable { return adversary.NewReusableKLeaves(3) },
+		},
+		{
+			name:  "k-inner",
+			plain: func(src *rng.Source) core.Adversary { return adversary.KInner{K: 2, Src: src} },
+			reuse: func() resettable { return adversary.NewReusableKInner(2) },
+		},
+		{
+			name:  "ascending-path",
+			plain: func(*rng.Source) core.Adversary { return adversary.AscendingPath{} },
+			reuse: func() resettable { return adversary.NewReusableAscendingPath() },
+		},
+		{
+			name:  "block-leader",
+			plain: func(*rng.Source) core.Adversary { return adversary.BlockLeader{} },
+			reuse: func() resettable { return adversary.NewReusableBlockLeader() },
+		},
+		{
+			name:  "min-gain",
+			plain: func(*rng.Source) core.Adversary { return adversary.MinGain{} },
+			reuse: func() resettable { return adversary.Stateless{Adversary: adversary.MinGain{}} },
+		},
+	}
+}
+
+// TestReusableMatchesPlain is the reuse contract: one reusable adversary,
+// Reset per trial, produces the same broadcast times as a fresh
+// allocating adversary per trial — the whole batched pipeline rests on
+// this move-for-move equivalence.
+func TestReusableMatchesPlain(t *testing.T) {
+	for _, p := range reusePairs() {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for _, n := range []int{5, 16, 31} {
+				runner := core.NewRunner()
+				reusable := p.reuse()
+				for trial := 0; trial < 6; trial++ {
+					seed := uint64(n*1000 + trial)
+					want, errA := core.BroadcastTime(n, p.plain(rng.New(seed)))
+					reusable.Reset(rng.New(seed))
+					got, errB := runner.BroadcastTime(n, reusable)
+					if (errA == nil) != (errB == nil) || want != got {
+						t.Fatalf("n=%d trial %d: plain %d (%v), reusable %d (%v)",
+							n, trial, want, errA, got, errB)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReusableTwoPhasePathMatches checks the precomputed-schedule form
+// against the per-round-constructing original, including validation.
+func TestReusableTwoPhasePathMatches(t *testing.T) {
+	for _, n := range []int{4, 16, 33} {
+		for _, cfg := range [][2]int{{n / 2, n / 2}, {1, n}, {0, 1}} {
+			plain, err := adversary.NewTwoPhasePath(n, cfg[0], cfg[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			reuse, err := adversary.NewReusableTwoPhasePath(n, cfg[0], cfg[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, errA := core.BroadcastTime(n, plain)
+			got, errB := core.NewRunner().BroadcastTime(n, reuse)
+			if errA != nil || errB != nil || want != got {
+				t.Fatalf("n=%d cfg=%v: plain %d (%v), reusable %d (%v)", n, cfg, want, errA, got, errB)
+			}
+		}
+	}
+	if _, err := adversary.NewReusableTwoPhasePath(4, -1, 2); err == nil {
+		t.Error("negative switch_at accepted")
+	}
+	if _, err := adversary.NewReusableTwoPhasePath(4, 1, 5); err == nil {
+		t.Error("prefix > n accepted")
+	}
+}
+
+// TestReusableKInfeasible: like the allocating forms, the reusable k
+// families fail the run (nil tree) when k is infeasible at the engine's n.
+func TestReusableKInfeasible(t *testing.T) {
+	adv := adversary.NewReusableKLeaves(9)
+	adv.Reset(rng.New(1))
+	if tr := adv.Next(core.NewEngine(4)); tr != nil {
+		t.Errorf("infeasible k returned tree %v", tr)
+	}
+}

@@ -56,6 +56,16 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// SetIdentity resets m to the identity matrix in place, reusing its rows.
+// It returns the knowledge state to round 0 without allocating, which is
+// what lets MatrixEngine participate in the pooled-runner lifecycle.
+func (m *Matrix) SetIdentity() {
+	for i, r := range m.rows {
+		r.Reset()
+		r.Set(i)
+	}
+}
+
 // FromTree returns the adjacency matrix of the round graph of t: one edge
 // parent → child for every non-root vertex, plus a self-loop on every
 // vertex.

@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/rng"
+)
+
+// batchSpec exercises every reuse-relevant axis in one grid: a random
+// family, a restricted k family with an axis, a deterministic adaptive
+// family, and a precomputed oblivious schedule.
+func batchSpec() Spec {
+	return Spec{
+		Name: "batching",
+		Scenarios: []Scenario{
+			{Adversary: "random-tree"},
+			{Adversary: "k-leaves", Params: map[string]any{"k": []any{2, 3}}},
+			{Adversary: "ascending-path"},
+			{Adversary: "two-phase-path"},
+		},
+		Ns:     []int{6, 13},
+		Trials: 5,
+		Seed:   99,
+	}
+}
+
+// TestBatchedPipelineByteIdentity is the tentpole acceptance property:
+// the batched, arena-pooled pipeline emits artifacts byte-identical to
+// the seed per-trial pipeline (NoReuse, batch 1), for every batch size ×
+// worker count combination — including the gossip goal.
+func TestBatchedPipelineByteIdentity(t *testing.T) {
+	specs := map[string]Spec{"broadcast": batchSpec()}
+	// Gossip variant: random families only — the deterministic path
+	// schedules stall gossip forever (see package gossip).
+	gossip := batchSpec()
+	gossip.Scenarios = []Scenario{
+		{Adversary: "random-tree"},
+		{Adversary: "k-leaves", Params: map[string]any{"k": []any{2, 3}}},
+	}
+	gossip.Goal = "gossip"
+	specs["gossip"] = gossip
+
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			// Reference: the pre-batching pipeline — per-trial jobs on
+			// fresh engines with fresh adversaries.
+			ref, err := RunSpec(context.Background(), spec, Config{Workers: 1, Batch: 1, NoReuse: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Failed != 0 {
+				t.Fatalf("reference run failed jobs: %v", ref.Errors)
+			}
+			want := artifactBytes(t, ref)
+
+			for _, batch := range []int{1, 3, 0} {
+				for _, workers := range []int{1, 4} {
+					o, err := RunSpec(context.Background(), spec, Config{Workers: workers, Batch: batch})
+					if err != nil {
+						t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+					}
+					if got := artifactBytes(t, o); !bytes.Equal(got, want) {
+						t.Errorf("batch=%d workers=%d: artifact differs from seed pipeline", batch, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedKillAndResumeByteIdentity extends the checkpoint guarantee
+// to the batched pipeline: kill mid-run at any batch size, resume at
+// another, and the artifact still matches an uninterrupted run's bytes.
+func TestBatchedKillAndResumeByteIdentity(t *testing.T) {
+	spec := batchSpec()
+	unint, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifactBytes(t, unint)
+
+	for _, batch := range []int{1, 3, 0} {
+		for _, resumeBatch := range []int{0, 1} {
+			// Phase 1: checkpoint into memory and cancel after a few
+			// results land.
+			var ckpt bytes.Buffer
+			jobs, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cw, err := NewCheckpointWriter(&ckpt, spec, len(jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			seen := 0
+			_, runErr := RunSpec(ctx, spec, Config{
+				Workers: 2, Batch: batch,
+				OnResult: func(r JobResult) {
+					cw.Record(r)
+					if seen++; seen == 7 {
+						cancel()
+					}
+				},
+			})
+			cancel()
+			if runErr == nil {
+				t.Fatalf("batch=%d: interrupted run reported no error", batch)
+			}
+			if err := cw.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 2: resume from the checkpoint at a different batch
+			// size and worker count.
+			cp, err := LoadCheckpoint(&ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cp.Results) == 0 {
+				t.Fatalf("batch=%d: checkpoint recorded nothing", batch)
+			}
+			resumed, err := ResumeSpec(context.Background(), spec, cp, Config{Workers: 3, Batch: resumeBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := artifactBytes(t, resumed); !bytes.Equal(got, want) {
+				t.Errorf("batch=%d resumeBatch=%d: resumed artifact differs", batch, resumeBatch)
+			}
+		}
+	}
+}
+
+// TestSliceBatches pins the scheduling-unit construction: whole cells by
+// default, capped runs with a batch size, singletons for cell-less jobs.
+func TestSliceBatches(t *testing.T) {
+	mk := func(cells ...string) []Job {
+		jobs := make([]Job, len(cells))
+		for i, c := range cells {
+			jobs[i] = Job{Index: i, Cell: c}
+		}
+		return jobs
+	}
+	cases := []struct {
+		name string
+		jobs []Job
+		size int
+		want []batch
+	}{
+		{"whole cells", mk("a", "a", "a", "b", "b"), 0, []batch{{0, 3}, {3, 5}}},
+		{"capped", mk("a", "a", "a", "b", "b"), 2, []batch{{0, 2}, {2, 3}, {3, 5}}},
+		{"per trial", mk("a", "a"), 1, []batch{{0, 1}, {1, 2}}},
+		{"ad hoc singletons", mk("", "", ""), 0, []batch{{0, 1}, {1, 2}, {2, 3}}},
+		{"interleaved", mk("a", "b", "a"), 0, []batch{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, tc := range cases {
+		got := sliceBatches(tc.jobs, tc.size)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: batch %d = %v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestFamilyReusableMatchesNew runs every built-in family that declares
+// NewReusable both ways — fresh construction per trial versus one
+// reusable adversary Reset per trial — and requires identical rounds.
+// This is the registry-level form of the adversary package's
+// differential suite.
+func TestFamilyReusableMatchesNew(t *testing.T) {
+	for _, f := range Families() {
+		if f.NewReusable == nil {
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			var params Params
+			if len(f.Params) > 0 {
+				params = Params{}
+				for _, p := range f.Params {
+					if p.Default != nil {
+						params[p.Name] = p.Default
+					} else {
+						params[p.Name] = float64(2) // the k families
+					}
+				}
+			}
+			const n = 9
+			runner := core.NewRunner()
+			reusable, err := f.NewReusable(n, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				seed := uint64(trial + 1)
+				plain, err := f.New(n, params, rng.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, errA := core.BroadcastTime(n, plain)
+				reusable.Reset(rng.New(seed))
+				got, errB := runner.BroadcastTime(n, reusable)
+				if errA != nil || errB != nil || want != got {
+					t.Fatalf("trial %d: plain %d (%v), reusable %d (%v)", trial, want, errA, got, errB)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaAdversaryFor: the arena caches one adversary per cell,
+// rebuilding only on cell changes and resetting on every trial.
+func TestArenaAdversaryFor(t *testing.T) {
+	a := NewArena()
+	builds := 0
+	build := func() (ReusableAdversary, error) {
+		builds++
+		return countingReusable{resets: new(int)}, nil
+	}
+	r1, err := a.AdversaryFor("cell-a", nil, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AdversaryFor("cell-a", nil, build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Errorf("same cell rebuilt: %d builds", builds)
+	}
+	if got := *r1.(countingReusable).resets; got != 2 {
+		t.Errorf("resets = %d, want 2", got)
+	}
+	if _, err := a.AdversaryFor("cell-b", nil, build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Errorf("cell change did not rebuild: %d builds", builds)
+	}
+	failing := func() (ReusableAdversary, error) { return nil, fmt.Errorf("boom") }
+	if _, err := a.AdversaryFor("cell-c", nil, failing); err == nil {
+		t.Error("build error swallowed")
+	}
+}
+
+type countingReusable struct {
+	core.Adversary
+	resets *int
+}
+
+func (c countingReusable) Reset(*rng.Source) { *c.resets++ }

@@ -3,6 +3,13 @@
 // flat list of jobs with deterministically pre-split random sources, and
 // executes them on a context-cancellable worker pool sized to GOMAXPROCS.
 //
+// Jobs are scheduled as cell batches (DESIGN.md §3d): consecutive trials
+// of one grid cell run sequentially on one worker, against the worker's
+// Arena — a pooled core.Runner plus a per-cell reusable adversary — so
+// the steady-state trial loop allocates nothing. Config.Batch caps the
+// batch size (0 = whole cell) and Config.NoReuse reverts to the
+// per-trial pipeline; neither changes a single output byte.
+//
 // Scenarios name adversary families from an open registry (scenario.go,
 // DESIGN.md §3c): each family self-describes its parameters — names,
 // kinds, defaults, per-n feasibility — and Register lets downstream code
@@ -48,6 +55,7 @@ import (
 	"sync"
 
 	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/core"
 	"dyntreecast/internal/rng"
 )
 
@@ -64,11 +72,71 @@ type Measurement struct {
 // point. Jobs are created in a deterministic compile order and each owns a
 // pre-split random source, so any worker may execute any job without
 // affecting results.
+//
+// The pool schedules jobs in cell batches (Config.Batch): consecutive
+// jobs sharing a non-empty Cell run sequentially on one worker, whose
+// Arena — a pooled core.Runner plus a per-cell reusable adversary — they
+// share through RunArena. Because every job still owns its pre-split
+// source and results are observed in index order, batching is invisible
+// in the output: artifacts are byte-identical for every batch size and
+// worker count.
 type Job struct {
 	Index int         // position in compile order; doubles as the result slot
 	Cell  string      // aggregation cell (set by Spec.Compile; "" for ad-hoc jobs)
 	Src   *rng.Source // private generator, pre-split at compile time
-	Run   func(ctx context.Context, src *rng.Source) ([]Measurement, error)
+	// Run executes the job on a fresh engine — the reference per-trial
+	// path, used when RunArena is absent or Config.NoReuse is set.
+	Run func(ctx context.Context, src *rng.Source) ([]Measurement, error)
+	// RunArena, when non-nil, is preferred by the pool: it receives the
+	// worker's Arena and must produce results identical to Run's for the
+	// same source (the batched pipeline's byte-identity tests pin this
+	// for every compiled spec).
+	RunArena func(ctx context.Context, src *rng.Source, a *Arena) ([]Measurement, error)
+}
+
+// ReusableAdversary is the reuse contract of the batched pipeline: an
+// adversary whose per-n scratch (tree buffers, bitset rows) persists
+// across the trials of a cell. Reset rebinds it to a fresh trial's
+// random source; after Reset it must behave exactly as a freshly
+// constructed adversary would — same draws, same trees — so that batched
+// and per-trial execution stay byte-identical. The adversary package's
+// Reusable* types implement it.
+type ReusableAdversary interface {
+	core.Adversary
+	// Reset prepares the adversary to drive a fresh run from src (which
+	// may be nil for source-free adversaries).
+	Reset(src *rng.Source)
+}
+
+// Arena is the reusable execution state one worker owns for its whole
+// lifetime: a pooled core.Runner (engine + per-run scratch, Reset per
+// trial instead of reallocated) and the current cell's reusable
+// adversary. Job closures receive it through RunArena.
+type Arena struct {
+	// Runner is the worker's pooled trial driver.
+	Runner *core.Runner
+
+	cell string
+	adv  ReusableAdversary
+}
+
+// NewArena returns a fresh arena with an empty pooled runner.
+func NewArena() *Arena { return &Arena{Runner: core.NewRunner()} }
+
+// AdversaryFor returns the arena's reusable adversary for cell, invoking
+// build only on first use or when the worker moved to a different cell,
+// and Reset-ing it to src either way. One adversary construction per
+// (worker, cell) instead of one per trial.
+func (a *Arena) AdversaryFor(cell string, src *rng.Source, build func() (ReusableAdversary, error)) (ReusableAdversary, error) {
+	if a.adv == nil || a.cell != cell {
+		adv, err := build()
+		if err != nil {
+			return nil, err
+		}
+		a.adv, a.cell = adv, cell
+	}
+	a.adv.Reset(src)
+	return a.adv, nil
 }
 
 // JobResult reports one executed (or skipped) job.
@@ -83,6 +151,20 @@ type JobResult struct {
 type Config struct {
 	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Batch caps how many consecutive same-cell jobs are scheduled as one
+	// unit on one worker. 0 (the default) batches whole cells — a cell's
+	// trials run sequentially against the worker's pooled Arena; 1
+	// recovers the pre-batching one-trial-per-job granularity. Results
+	// are identical for every value (the determinism contract is
+	// per-trial); the knob trades scheduling overhead against available
+	// parallelism on grids with few cells. Jobs with an empty Cell are
+	// never batched together.
+	Batch int
+	// NoReuse disables the pooled arenas: every job runs its plain Run
+	// closure on a fresh engine, recovering the seed per-trial pipeline
+	// exactly. Results are identical either way — the knob exists for
+	// differential testing and bisection, not tuning.
+	NoReuse bool
 	// Progress, when non-nil, is called after every completed job with the
 	// number of jobs finished so far and the total. Calls are serialized
 	// and done is nondecreasing. Jobs reused from Completed count toward
@@ -116,13 +198,6 @@ type Config struct {
 // results for jobs that did complete are still returned and the rest are
 // marked Skipped.
 func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	results := make([]JobResult, len(jobs))
 	for i := range results {
 		results[i] = JobResult{Index: i, Skipped: true}
@@ -140,50 +215,83 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
 		return results, ctx.Err()
 	}
 
+	batches := sliceBatches(jobs, cfg.Batch)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex // serializes the progress + result callbacks
-		done  = reused
-		jobCh = make(chan int)
+		wg      sync.WaitGroup
+		mu      sync.Mutex // serializes the progress + result callbacks
+		done    = reused
+		batchCh = make(chan batch)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobCh {
-				if err := ctx.Err(); err != nil {
-					// Drain without running so the feeder never blocks.
-					continue
-				}
-				job := jobs[idx]
-				ms, err := job.Run(ctx, job.Src)
-				results[idx] = JobResult{Index: idx, Measurements: ms, Err: err}
-				if cfg.Progress != nil || cfg.OnResult != nil {
-					mu.Lock()
-					if cfg.OnResult != nil {
-						cfg.OnResult(results[idx])
+			arena := NewArena()
+			for b := range batchCh {
+				// Every batch starts from the default round budget; a
+				// closure that wants a specific budget sets it per trial,
+				// and one that doesn't can never inherit a previous
+				// batch's.
+				arena.Runner.MaxRounds = 0
+				for idx := b.lo; idx < b.hi; idx++ {
+					if !results[idx].Skipped {
+						continue // reused from cfg.Completed
 					}
-					done++
-					if cfg.Progress != nil {
-						cfg.Progress(done, len(jobs))
+					if ctx.Err() != nil {
+						// Drain without running so the feeder never blocks.
+						continue
 					}
-					mu.Unlock()
+					job := jobs[idx]
+					var ms []Measurement
+					var err error
+					if job.RunArena != nil && (!cfg.NoReuse || job.Run == nil) {
+						ms, err = job.RunArena(ctx, job.Src, arena)
+					} else {
+						ms, err = job.Run(ctx, job.Src)
+					}
+					results[idx] = JobResult{Index: idx, Measurements: ms, Err: err}
+					if cfg.Progress != nil || cfg.OnResult != nil {
+						mu.Lock()
+						if cfg.OnResult != nil {
+							cfg.OnResult(results[idx])
+						}
+						done++
+						if cfg.Progress != nil {
+							cfg.Progress(done, len(jobs))
+						}
+						mu.Unlock()
+					}
 				}
 			}
 		}()
 	}
 feed:
-	for i := range jobs {
-		if !results[i].Skipped {
-			continue // reused from cfg.Completed; nothing to execute
+	for _, b := range batches {
+		pending := false
+		for idx := b.lo; idx < b.hi; idx++ {
+			if results[idx].Skipped {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			continue // fully reused from cfg.Completed; nothing to execute
 		}
 		select {
-		case jobCh <- i:
+		case batchCh <- b:
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(jobCh)
+	close(batchCh)
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
@@ -195,6 +303,28 @@ feed:
 		return results, fmt.Errorf("campaign: cancelled: %w", err)
 	}
 	return results, nil
+}
+
+// batch is one scheduling unit: the half-open job-index range [lo, hi).
+type batch struct{ lo, hi int }
+
+// sliceBatches partitions the job list into scheduling units: maximal
+// runs of consecutive jobs sharing a non-empty Cell, capped at size (<= 0
+// means uncapped, i.e. whole cells). Jobs without a cell are singleton
+// batches, preserving the per-trial granularity of ad-hoc job lists.
+func sliceBatches(jobs []Job, size int) []batch {
+	batches := make([]batch, 0, len(jobs))
+	for lo := 0; lo < len(jobs); {
+		hi := lo + 1
+		if jobs[lo].Cell != "" {
+			for hi < len(jobs) && jobs[hi].Cell == jobs[lo].Cell && (size <= 0 || hi-lo < size) {
+				hi++
+			}
+		}
+		batches = append(batches, batch{lo, hi})
+		lo = hi
+	}
+	return batches
 }
 
 // JoinErrors returns the job-level errors of results joined in job-index

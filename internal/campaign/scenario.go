@@ -114,6 +114,14 @@ type Family struct {
 	// — never panic — on bad inputs: this path is reachable from user
 	// input through campaign specs and campaignd requests.
 	New func(n int, p Params, src *rng.Source) (core.Adversary, error)
+	// NewReusable, when non-nil, constructs the family's reusable form
+	// for the batched pipeline (DESIGN.md §3d): one adversary per
+	// (worker, cell) whose per-n scratch persists across trials, rebound
+	// to each trial's source via Reset. It must be behaviorally identical
+	// to New — same draws from the same source, same trees — since the
+	// byte-identity of batched artifacts rests on it. Families without it
+	// are simply constructed per trial by the batched pipeline too.
+	NewReusable func(n int, p Params) (ReusableAdversary, error)
 }
 
 // Scenario selects one adversary family with a parameter assignment for
@@ -543,11 +551,18 @@ func builtinFamilies() []Family {
 			New: func(n int, _ Params, _ *rng.Source) (core.Adversary, error) {
 				return adversary.Static{Tree: tree.IdentityPath(n)}, nil
 			},
+			NewReusable: func(n int, _ Params) (ReusableAdversary, error) {
+				// The whole schedule is one tree, built once per cell.
+				return adversary.Stateless{Adversary: adversary.Static{Tree: tree.IdentityPath(n)}}, nil
+			},
 		},
 		{
 			Name: "random-tree", Doc: "an independent uniformly random rooted tree per round", Portfolio: true,
 			New: func(_ int, _ Params, src *rng.Source) (core.Adversary, error) {
 				return adversary.Random{Src: src}, nil
+			},
+			NewReusable: func(int, Params) (ReusableAdversary, error) {
+				return adversary.NewReusableRandom(), nil
 			},
 		},
 		{
@@ -555,11 +570,17 @@ func builtinFamilies() []Family {
 			New: func(_ int, _ Params, src *rng.Source) (core.Adversary, error) {
 				return adversary.RandomPath{Src: src}, nil
 			},
+			NewReusable: func(int, Params) (ReusableAdversary, error) {
+				return adversary.NewReusableRandomPath(), nil
+			},
 		},
 		{
 			Name: "ascending-path", Doc: "adaptive: the path ordered by ascending heard-set size", Portfolio: true,
 			New: func(int, Params, *rng.Source) (core.Adversary, error) {
 				return adversary.AscendingPath{}, nil
+			},
+			NewReusable: func(int, Params) (ReusableAdversary, error) {
+				return adversary.NewReusableAscendingPath(), nil
 			},
 		},
 		{
@@ -567,11 +588,19 @@ func builtinFamilies() []Family {
 			New: func(int, Params, *rng.Source) (core.Adversary, error) {
 				return adversary.BlockLeader{}, nil
 			},
+			NewReusable: func(int, Params) (ReusableAdversary, error) {
+				return adversary.NewReusableBlockLeader(), nil
+			},
 		},
 		{
 			Name: "min-gain", Doc: "adaptive: minimum-knowledge-gain arborescence (Chu-Liu/Edmonds)", Portfolio: true,
 			New: func(int, Params, *rng.Source) (core.Adversary, error) {
 				return adversary.MinGain{}, nil
+			},
+			NewReusable: func(int, Params) (ReusableAdversary, error) {
+				// Source-free and stateless; reuse saves only the per-trial
+				// construction (its arborescence scratch is per round).
+				return adversary.Stateless{Adversary: adversary.MinGain{}}, nil
 			},
 		},
 		{
@@ -584,6 +613,13 @@ func builtinFamilies() []Family {
 				}
 				return adversary.KLeaves{K: k, Src: src}, nil
 			},
+			NewReusable: func(n int, p Params) (ReusableAdversary, error) {
+				k := p.Int("k")
+				if k < 1 || k > n-1 {
+					return nil, fmt.Errorf("k-leaves: k=%d infeasible at n=%d (want 1 <= k <= n-1)", k, n)
+				}
+				return adversary.NewReusableKLeaves(k), nil
+			},
 		},
 		{
 			Name: "k-inner", Doc: "random trees with exactly k inner nodes (Zeiner et al., O(kn))",
@@ -594,6 +630,13 @@ func builtinFamilies() []Family {
 					return nil, fmt.Errorf("k-inner: k=%d infeasible at n=%d (want 1 <= k <= n-1)", k, n)
 				}
 				return adversary.KInner{K: k, Src: src}, nil
+			},
+			NewReusable: func(n int, p Params) (ReusableAdversary, error) {
+				k := p.Int("k")
+				if k < 1 || k > n-1 {
+					return nil, fmt.Errorf("k-inner: k=%d infeasible at n=%d (want 1 <= k <= n-1)", k, n)
+				}
+				return adversary.NewReusableKInner(k), nil
 			},
 		},
 		{
@@ -626,6 +669,16 @@ func builtinFamilies() []Family {
 					prefix = n / 2
 				}
 				return adversary.NewTwoPhasePath(n, switchAt, prefix)
+			},
+			NewReusable: func(n int, p Params) (ReusableAdversary, error) {
+				switchAt, prefix := p.Int("switch_at"), p.Int("prefix")
+				if switchAt == 0 {
+					switchAt = n / 2
+				}
+				if prefix == 0 {
+					prefix = n / 2
+				}
+				return adversary.NewReusableTwoPhasePath(n, switchAt, prefix)
 			},
 		},
 	}

@@ -266,6 +266,12 @@ func (s *Spec) Compile() ([]Job, error) {
 	return jobs, err
 }
 
+// errEmptyGrid is the shared construction of the "nothing to run" error,
+// used by jobCount and compile so the two paths cannot drift.
+func errEmptyGrid() error {
+	return fmt.Errorf("campaign: spec compiles to an empty grid (every scenario infeasible?)")
+}
+
 // jobCount returns the number of jobs the spec compiles to, without
 // building closures or splitting sources — cheap enough to call on every
 // checkpoint open even for million-job grids.
@@ -283,7 +289,7 @@ func (s *Spec) jobCount() (int, error) {
 		}
 	}
 	if total == 0 {
-		return 0, fmt.Errorf("campaign: spec compiles to an empty grid (every scenario infeasible?)")
+		return 0, errEmptyGrid()
 	}
 	return total, nil
 }
@@ -294,10 +300,6 @@ func (s *Spec) compile() ([]Job, []cellPlan, Spec, error) {
 		return nil, nil, Spec{}, err
 	}
 	goal := canon.goal()
-	var opts []core.Option
-	if canon.MaxRounds > 0 {
-		opts = append(opts, core.WithMaxRounds(canon.MaxRounds))
-	}
 	var jobs []Job
 	var cells []cellPlan
 	for _, g := range grounds {
@@ -311,22 +313,32 @@ func (s *Spec) compile() ([]Job, []cellPlan, Spec, error) {
 			for trial := 0; trial < canon.Trials; trial++ {
 				plan.JobIdx = append(plan.JobIdx, len(jobs))
 				jobs = append(jobs, Job{
-					Index: len(jobs),
-					Cell:  cell,
-					Src:   root.Split(),
-					Run:   runGridPoint(g, n, cell, goal, opts),
+					Index:    len(jobs),
+					Cell:     cell,
+					Src:      root.Split(),
+					Run:      runGridPoint(g, n, cell, goal, canon.MaxRounds),
+					RunArena: runGridPointPooled(g, n, cell, goal, canon.MaxRounds),
 				})
 			}
 			cells = append(cells, plan)
 		}
 	}
 	if len(jobs) == 0 {
-		return nil, nil, Spec{}, fmt.Errorf("campaign: spec compiles to an empty grid (every scenario infeasible?)")
+		return nil, nil, Spec{}, errEmptyGrid()
 	}
 	return jobs, cells, canon, nil
 }
 
-func runGridPoint(g groundScenario, n int, cell string, goal core.Goal, opts []core.Option) func(context.Context, *rng.Source) ([]Measurement, error) {
+// runGridPoint is the reference per-trial closure: a fresh adversary and
+// a fresh engine per job, exactly the pre-batching pipeline. The pool
+// uses it when Config.NoReuse is set; runGridPointPooled must match it
+// result for result — both derive their engine configuration from the
+// same (goal, maxRounds) pair so the two paths cannot drift.
+func runGridPoint(g groundScenario, n int, cell string, goal core.Goal, maxRounds int) func(context.Context, *rng.Source) ([]Measurement, error) {
+	var opts []core.Option
+	if maxRounds > 0 {
+		opts = append(opts, core.WithMaxRounds(maxRounds))
+	}
 	return func(_ context.Context, src *rng.Source) ([]Measurement, error) {
 		adv, err := g.family.New(n, g.params, src)
 		if err != nil {
@@ -338,6 +350,34 @@ func runGridPoint(g groundScenario, n int, cell string, goal core.Goal, opts []c
 		} else {
 			rounds, err = core.BroadcastTime(n, adv, opts...)
 		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", cell, err)
+		}
+		return []Measurement{{Cell: cell, Value: float64(rounds)}}, nil
+	}
+}
+
+// runGridPointPooled is the batched-pipeline closure: the trial runs on
+// the worker's pooled Runner, and families declaring NewReusable share
+// one adversary (with its per-n scratch) across the cell's trials via
+// Arena.AdversaryFor + Reset. Round counts and error strings match
+// runGridPoint exactly, so the two paths emit byte-identical artifacts.
+func runGridPointPooled(g groundScenario, n int, cell string, goal core.Goal, maxRounds int) func(context.Context, *rng.Source, *Arena) ([]Measurement, error) {
+	return func(_ context.Context, src *rng.Source, a *Arena) ([]Measurement, error) {
+		var adv core.Adversary
+		var err error
+		if g.family.NewReusable != nil {
+			adv, err = a.AdversaryFor(cell, src, func() (ReusableAdversary, error) {
+				return g.family.NewReusable(n, g.params)
+			})
+		} else {
+			adv, err = g.family.New(n, g.params, src)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", cell, err)
+		}
+		a.Runner.MaxRounds = maxRounds
+		rounds, err := a.Runner.Run(n, adv, goal)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %s: %w", cell, err)
 		}

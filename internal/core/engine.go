@@ -58,10 +58,13 @@ type Engine struct {
 	round int
 	heard []*bitset.Set // heard[y] = K_y
 	inter *bitset.Set   // ⋂_y K_y, maintained per round
-	// order is scratch for the deepest-first application order, reused
-	// across rounds.
-	order []int
-	depth []int
+	// order, depth, counts, and starts are scratch for the deepest-first
+	// application order (a counting sort by depth), reused across rounds so
+	// Step allocates nothing.
+	order  []int
+	depth  []int
+	counts []int
+	starts []int
 }
 
 var _ View = (*Engine)(nil)
@@ -73,11 +76,13 @@ func NewEngine(n int) *Engine {
 		panic(fmt.Sprintf("core: NewEngine needs n >= 1, got %d", n))
 	}
 	e := &Engine{
-		n:     n,
-		heard: make([]*bitset.Set, n),
-		inter: bitset.New(n),
-		order: make([]int, n),
-		depth: make([]int, n),
+		n:      n,
+		heard:  make([]*bitset.Set, n),
+		inter:  bitset.New(n),
+		order:  make([]int, n),
+		depth:  make([]int, n),
+		counts: make([]int, n),
+		starts: make([]int, n),
 	}
 	for y := 0; y < n; y++ {
 		e.heard[y] = bitset.New(n)
@@ -89,16 +94,42 @@ func NewEngine(n int) *Engine {
 	return e
 }
 
+// Reset returns the engine to the round-0 state on n processes. When n
+// matches the engine's current size every buffer is reused and Reset
+// allocates nothing; a different n rebuilds the engine as NewEngine would.
+// This is the pooled lifecycle of the batched trial pipeline: one engine
+// per worker, Reset per trial. n must be >= 1.
+func (e *Engine) Reset(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("core: Reset needs n >= 1, got %d", n))
+	}
+	if n != e.n {
+		*e = *NewEngine(n)
+		return
+	}
+	e.round = 0
+	for y := 0; y < n; y++ {
+		e.heard[y].Reset()
+		e.heard[y].Set(y)
+	}
+	e.inter.Reset()
+	if n == 1 {
+		e.inter.Set(0)
+	}
+}
+
 // Clone returns an independent copy of the engine state. Used by search
 // adversaries that explore alternative futures.
 func (e *Engine) Clone() *Engine {
 	c := &Engine{
-		n:     e.n,
-		round: e.round,
-		heard: make([]*bitset.Set, e.n),
-		inter: e.inter.Clone(),
-		order: make([]int, e.n),
-		depth: make([]int, e.n),
+		n:      e.n,
+		round:  e.round,
+		heard:  make([]*bitset.Set, e.n),
+		inter:  e.inter.Clone(),
+		order:  make([]int, e.n),
+		depth:  make([]int, e.n),
+		counts: make([]int, e.n),
+		starts: make([]int, e.n),
 	}
 	for y, k := range e.heard {
 		c.heard[y] = k.Clone()
@@ -190,14 +221,17 @@ func (e *Engine) fillDeepestFirst(parents []int) {
 			maxDepth = total
 		}
 	}
-	// Counting sort by decreasing depth.
-	counts := make([]int, maxDepth+1)
+	// Counting sort by decreasing depth, into the engine's reusable
+	// scratch (maxDepth < n, so the n-sized buffers always suffice).
+	counts, starts := e.counts[:maxDepth+1], e.starts[:maxDepth+1]
+	for d := range counts {
+		counts[d] = 0
+	}
 	for v := 0; v < n; v++ {
 		counts[e.depth[v]]++
 	}
 	// Prefix sums so that larger depths come first.
 	idx := 0
-	starts := make([]int, maxDepth+1)
 	for d := maxDepth; d >= 0; d-- {
 		starts[d] = idx
 		idx += counts[d]
@@ -260,6 +294,22 @@ func NewMatrixEngine(n int) *MatrixEngine {
 		panic(fmt.Sprintf("core: NewMatrixEngine needs n >= 1, got %d", n))
 	}
 	return &MatrixEngine{m: boolmat.Identity(n)}
+}
+
+// Reset returns the matrix engine to the round-0 state (identity matrix)
+// on n processes, reusing the matrix when n matches. The MatrixEngine
+// sibling of Engine.Reset, so the differential oracle can share the pooled
+// lifecycle. n must be >= 1.
+func (e *MatrixEngine) Reset(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("core: Reset needs n >= 1, got %d", n))
+	}
+	if n != e.m.N() {
+		*e = *NewMatrixEngine(n)
+		return
+	}
+	e.round = 0
+	e.m.SetIdentity()
 }
 
 // N returns the number of processes.

@@ -12,6 +12,11 @@
 // serial loops consumed them, so those tables reproduce the old harness
 // digit for digit; Nonsplit switched from one shared stream to per-trial
 // pre-split streams (a different but equally deterministic sequence).
+//
+// The engine-driving trial loops run on each worker's pooled
+// core.Runner (campaign.Arena, DESIGN.md §3d) rather than allocating a
+// fresh engine per trial; Runner.Run is round-for-round identical to the
+// allocating path, so every table digit is unchanged.
 package experiment
 
 import (
@@ -121,12 +126,20 @@ type Option func(*config)
 type config struct {
 	ctx     context.Context
 	workers int
+	batch   int
 }
 
 // WithWorkers sets the campaign worker-pool size for the experiment's
 // trial loops. 0 (the default) selects GOMAXPROCS; 1 recovers the old
 // serial harness.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithBatch sets the campaign batch size (consecutive same-cell jobs per
+// scheduling unit; 0 = whole cells). The experiments' hand-built job
+// lists carry no cell affinity, so this only matters for harnesses that
+// route compiled specs through the experiment options (cmd/sweep -exp
+// grid); results are identical for every value.
+func WithBatch(b int) Option { return func(c *config) { c.batch = b } }
 
 // WithContext makes the experiment cancellable: trial loops stop promptly
 // once ctx is done and the experiment returns ctx's error.
@@ -144,7 +157,7 @@ func buildConfig(opts []Option) config {
 // results, failing on cancellation or on the first job error (in job
 // order, so the error is deterministic too).
 func runJobs(c config, jobs []campaign.Job) ([]campaign.JobResult, error) {
-	results, err := campaign.Run(c.ctx, jobs, campaign.Config{Workers: c.workers})
+	results, err := campaign.Run(c.ctx, jobs, campaign.Config{Workers: c.workers, Batch: c.batch})
 	if err != nil {
 		return nil, err
 	}
@@ -200,14 +213,16 @@ func BestMeasured(n int, seed uint64, opts ...Option) (int, string, error) {
 	root := rng.New(seed)
 	var jobs []campaign.Job
 	// Portfolio jobs first, splitting the root source in portfolio order —
-	// the exact streams the serial harness consumed.
+	// the exact streams the serial harness consumed. Each job runs on its
+	// worker's pooled Runner (fresh-engine semantics via Reset, none of
+	// the per-trial engine and Result allocations).
 	for _, na := range Portfolio() {
 		na := na
 		jobs = append(jobs, campaign.Job{
 			Index: len(jobs),
 			Src:   root.Split(),
-			Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
-				t, err := core.BroadcastTime(n, na.New(n, src))
+			RunArena: func(_ context.Context, src *rng.Source, a *campaign.Arena) ([]campaign.Measurement, error) {
+				t, err := a.Runner.BroadcastTime(n, na.New(n, src))
 				if err != nil {
 					return nil, fmt.Errorf("experiment: %s at n=%d: %w", na.Name, n, err)
 				}
@@ -363,8 +378,8 @@ func Restricted(ns, ks []int, trials int, seed uint64, opts ...Option) (*Table, 
 		jobs = append(jobs, campaign.Job{
 			Index: len(jobs),
 			Src:   root.Split(),
-			Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
-				rounds, err := core.BroadcastTime(n, build(src))
+			RunArena: func(_ context.Context, src *rng.Source, a *campaign.Arena) ([]campaign.Measurement, error) {
+				rounds, err := a.Runner.BroadcastTime(n, build(src))
 				if err != nil {
 					return nil, fmt.Errorf("experiment: %s n=%d k=%d: %w", kind, n, k, err)
 				}
@@ -509,8 +524,8 @@ func GossipVsBroadcast(ns []int, trials int, seed uint64, opts ...Option) (*Tabl
 			jobs = append(jobs, campaign.Job{
 				Index: len(jobs),
 				Src:   root.Split(),
-				Run: func(_ context.Context, src *rng.Source) ([]campaign.Measurement, error) {
-					b, g, err := gossip.BothTimes(n, adversary.Random{Src: src})
+				RunArena: func(_ context.Context, src *rng.Source, a *campaign.Arena) ([]campaign.Measurement, error) {
+					b, g, err := a.Runner.BothTimes(n, adversary.Random{Src: src})
 					if err != nil {
 						return nil, fmt.Errorf("experiment: gossip n=%d: %w", n, err)
 					}

@@ -1,0 +1,159 @@
+package tree
+
+import (
+	"testing"
+
+	"dyntreecast/internal/rng"
+)
+
+// TestRandomIntoMatchesRandom: the in-place generator consumes the same
+// stream and produces the same trees as the allocating form, across many
+// sizes — the property the batched pipeline's byte-identity rests on.
+func TestRandomIntoMatchesRandom(t *testing.T) {
+	var b Buf
+	for _, n := range []int{1, 2, 3, 5, 17, 64} {
+		srcA, srcB := rng.New(uint64(n)), rng.New(uint64(n))
+		for trial := 0; trial < 20; trial++ {
+			want := Random(n, srcA)
+			got := RandomInto(&b, n, srcB)
+			if !want.Equal(got) {
+				t.Fatalf("n=%d trial %d: trees differ:\n  want %v\n  got  %v", n, trial, want, got)
+			}
+		}
+		// Streams must stay in lockstep afterwards too.
+		if srcA.Uint64() != srcB.Uint64() {
+			t.Fatalf("n=%d: stream positions diverged", n)
+		}
+	}
+}
+
+// TestRandomPathIntoMatchesRandomPath mirrors the Random test for paths.
+func TestRandomPathIntoMatchesRandomPath(t *testing.T) {
+	var b Buf
+	for _, n := range []int{1, 2, 9, 40} {
+		srcA, srcB := rng.New(uint64(n)+5), rng.New(uint64(n)+5)
+		for trial := 0; trial < 10; trial++ {
+			want := RandomPath(n, srcA)
+			got := RandomPathInto(&b, n, srcB)
+			if !want.Equal(got) {
+				t.Fatalf("n=%d trial %d: paths differ", n, trial)
+			}
+			if !got.IsPath() {
+				t.Fatalf("n=%d trial %d: not a path: %v", n, trial, got)
+			}
+		}
+	}
+}
+
+// TestRandomWithLeavesIntoMatches: same stream, same trees, same error
+// cases as the allocating form, plus structural validity of the reused
+// buffer's output.
+func TestRandomWithLeavesIntoMatches(t *testing.T) {
+	var b Buf
+	for _, n := range []int{1, 2, 6, 20} {
+		for k := 0; k <= n; k++ {
+			srcA, srcB := rng.New(uint64(n*100+k)), rng.New(uint64(n*100+k))
+			for trial := 0; trial < 5; trial++ {
+				want, errA := RandomWithLeaves(n, k, srcA)
+				got, errB := RandomWithLeavesInto(&b, n, k, srcB)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("n=%d k=%d: error mismatch: %v vs %v", n, k, errA, errB)
+				}
+				if errA != nil {
+					if errA.Error() != errB.Error() {
+						t.Fatalf("n=%d k=%d: error strings differ: %q vs %q", n, k, errA, errB)
+					}
+					break // no stream consumed on errors; next k
+				}
+				if !want.Equal(got) {
+					t.Fatalf("n=%d k=%d trial %d: trees differ", n, k, trial)
+				}
+				// The in-place tree must be a valid tree with exactly k
+				// leaves (revalidate through the checking constructor).
+				re, err := New(got.Parents())
+				if err != nil {
+					t.Fatalf("n=%d k=%d: invalid in-place tree: %v", n, k, err)
+				}
+				if re.NumLeaves() != k {
+					t.Fatalf("n=%d k=%d: got %d leaves", n, k, re.NumLeaves())
+				}
+			}
+		}
+	}
+}
+
+// TestRandomWithInnerIntoMatches spot-checks the inner-node form.
+func TestRandomWithInnerIntoMatches(t *testing.T) {
+	var b Buf
+	src := rng.New(9)
+	src2 := rng.New(9)
+	for trial := 0; trial < 10; trial++ {
+		want, errA := RandomWithInner(12, 4, src)
+		got, errB := RandomWithInnerInto(&b, 12, 4, src2)
+		if errA != nil || errB != nil || !want.Equal(got) {
+			t.Fatalf("trial %d: %v/%v, equal=%v", trial, errA, errB, want.Equal(got))
+		}
+	}
+}
+
+// TestPathInto: in-place path construction matches MustPath and rejects
+// non-permutations.
+func TestPathInto(t *testing.T) {
+	var b Buf
+	order := []int{2, 0, 3, 1}
+	if got, want := PathInto(&b, order), MustPath(order); !got.Equal(want) {
+		t.Fatalf("PathInto = %v, want %v", got, want)
+	}
+	if got := PathInto(&b, nil); got.N() != 0 {
+		t.Fatalf("empty PathInto has %d vertices", got.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PathInto accepted a repeated vertex")
+		}
+	}()
+	PathInto(&b, []int{0, 0, 1})
+}
+
+// TestBufReuseAcrossSizes: one Buf serves shrinking and growing n
+// without carrying stale state across generations.
+func TestBufReuseAcrossSizes(t *testing.T) {
+	var b Buf
+	src := rng.New(3)
+	for _, n := range []int{32, 4, 1, 19, 2, 32} {
+		got := RandomInto(&b, n, src)
+		if got.N() != n {
+			t.Fatalf("generated %d vertices, want %d", got.N(), n)
+		}
+		if _, err := New(got.Parents()); err != nil {
+			t.Fatalf("n=%d: invalid tree: %v", n, err)
+		}
+		if got != b.Tree() {
+			t.Fatalf("n=%d: returned tree is not the Buf's", n)
+		}
+	}
+}
+
+// TestRandomIntoAllocs: a warm Buf generates with zero allocations.
+func TestRandomIntoAllocs(t *testing.T) {
+	var b Buf
+	src := rng.New(7)
+	RandomInto(&b, 64, src)
+	if allocs := testing.AllocsPerRun(50, func() { RandomInto(&b, 64, src) }); allocs > 0 {
+		t.Errorf("warm RandomInto allocates %.1f objects/run, want 0", allocs)
+	}
+	RandomPathInto(&b, 64, src)
+	if allocs := testing.AllocsPerRun(50, func() { RandomPathInto(&b, 64, src) }); allocs > 0 {
+		t.Errorf("warm RandomPathInto allocates %.1f objects/run, want 0", allocs)
+	}
+	if _, err := RandomWithLeavesInto(&b, 64, 4, src); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := RandomWithLeavesInto(&b, 64, 4, src); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm RandomWithLeavesInto allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -488,72 +488,12 @@ func FromPrufer(seq []int, n, root int) (*Tree, error) {
 			return nil, fmt.Errorf("%w: Prüfer symbol %d out of range [0,%d)", ErrInvalidTree, s, n)
 		}
 	}
-	// Standard linear-time decoding into an undirected edge list.
-	degree := make([]int, n)
-	for i := range degree {
-		degree[i] = 1
-	}
-	for _, s := range seq {
-		degree[s]++
-	}
-	type edge struct{ u, v int }
-	edges := make([]edge, 0, n-1)
-	// ptr scans for the smallest leaf; leaf tracks the current cascading
-	// leaf (classic O(n) decoding).
-	ptr := 0
-	for degree[ptr] != 1 {
-		ptr++
-	}
-	leaf := ptr
-	for _, s := range seq {
-		edges = append(edges, edge{leaf, s})
-		degree[leaf]-- // consumed; degree drops to 0 so later scans skip it
-		degree[s]--
-		if degree[s] == 1 && s < ptr {
-			leaf = s
-		} else {
-			ptr++
-			for degree[ptr] != 1 {
-				ptr++
-			}
-			leaf = ptr
-		}
-	}
-	// Two vertices of degree 1 remain; one is leaf, the other is the last
-	// unconsumed one.
-	last := -1
-	for v := n - 1; v >= 0; v-- {
-		if v != leaf && degree[v] == 1 {
-			last = v
-			break
-		}
-	}
-	edges = append(edges, edge{leaf, last})
-
-	// Orient away from root by BFS.
-	adj := make([][]int, n)
-	for _, e := range edges {
-		adj[e.u] = append(adj[e.u], e.v)
-		adj[e.v] = append(adj[e.v], e.u)
-	}
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[root] = root
-	queue := make([]int, 0, n)
-	queue = append(queue, root)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range adj[u] {
-			if parent[v] == -1 {
-				parent[v] = u
-				queue = append(queue, v)
-			}
-		}
-	}
-	return &Tree{parent: parent, root: root}, nil
+	// The decoding itself lives in Buf.decodePrufer (into.go), shared with
+	// the in-place generators so the two paths cannot drift; detached so
+	// the returned tree doesn't pin the decoder's scratch.
+	var b Buf
+	b.decodePrufer(seq, n, root)
+	return b.t.detached(), nil
 }
 
 // Prufer encodes the tree's underlying unrooted labeled tree as a Prüfer
@@ -609,31 +549,28 @@ func (t *Tree) Prufer() []int {
 	return seq
 }
 
+// detached returns a copy of t backed by exactly-sized private storage.
+// The allocating generator wrappers return detached trees so a retained
+// Tree never pins its generating Buf's O(n) scratch slices.
+func (t *Tree) detached() *Tree {
+	p := make([]int, len(t.parent))
+	copy(p, t.parent)
+	return &Tree{parent: p, root: t.root}
+}
+
 // Random returns a uniformly random rooted labeled tree on n vertices:
 // uniform Prüfer sequence plus uniform root, covering all n^(n−1) rooted
-// trees with equal probability.
+// trees with equal probability. Thin wrapper over RandomInto (into.go).
 func Random(n int, src *rng.Source) *Tree {
-	if n <= 0 {
-		panic("tree: Random needs n >= 1")
-	}
-	if n == 1 {
-		return &Tree{parent: []int{0}, root: 0}
-	}
-	seq := make([]int, n-2)
-	for i := range seq {
-		seq[i] = src.Intn(n)
-	}
-	t, err := FromPrufer(seq, n, src.Intn(n))
-	if err != nil {
-		// Unreachable: generated inputs are always in range.
-		panic(err)
-	}
-	return t
+	var b Buf
+	return RandomInto(&b, n, src).detached()
 }
 
 // RandomPath returns a directed path through a uniform random permutation.
+// Thin wrapper over RandomPathInto (into.go).
 func RandomPath(n int, src *rng.Source) *Tree {
-	return MustPath(src.Perm(n))
+	var b Buf
+	return RandomPathInto(&b, n, src).detached()
 }
 
 // Enumerate calls fn once for every rooted labeled tree on n vertices, in a
@@ -695,87 +632,25 @@ func Count(n int) int64 {
 // k leaves. Valid ranges: n == 1 requires k == 1; n >= 2 requires
 // 1 <= k <= n−1. The distribution is not uniform over all such trees (a
 // skeleton-plus-attachment construction), which is sufficient for the
-// restricted-adversary experiments.
+// restricted-adversary experiments. Thin wrapper over
+// RandomWithLeavesInto (into.go).
 func RandomWithLeaves(n, k int, src *rng.Source) (*Tree, error) {
-	switch {
-	case n <= 0:
-		return nil, fmt.Errorf("%w: need n >= 1", ErrInvalidTree)
-	case n == 1:
-		if k != 1 {
-			return nil, fmt.Errorf("%w: n=1 has exactly 1 leaf, not %d", ErrInvalidTree, k)
-		}
-		return MustNew([]int{0}), nil
-	case k < 1 || k > n-1:
-		return nil, fmt.Errorf("%w: n=%d needs 1 <= k <= %d leaves, got %d", ErrInvalidTree, n, n-1, k)
+	var b Buf
+	t, err := RandomWithLeavesInto(&b, n, k, src)
+	if err != nil {
+		return nil, err
 	}
-	m := n - k // inner vertex count, >= 1
-	perm := src.Perm(n)
-	inner, leaves := perm[:m], perm[m:]
-
-	// Build a random skeleton over the inner vertices with at most k
-	// skeleton-leaves, so each skeleton-leaf can absorb a real leaf. A
-	// random attachment tree ("random recursive tree") tends to have about
-	// m/2 leaves; retry a few times, then fall back to a path skeleton
-	// (exactly one skeleton-leaf), which always works since k >= 1.
-	parent := make([]int, n)
-	skeletonLeaves := func(build func()) []int {
-		build()
-		hasChild := make([]bool, n)
-		for _, v := range inner {
-			if p := parent[v]; p != v {
-				hasChild[p] = true
-			}
-		}
-		var sl []int
-		for _, v := range inner {
-			if !hasChild[v] {
-				sl = append(sl, v)
-			}
-		}
-		return sl
-	}
-
-	var sl []int
-	for attempt := 0; attempt < 8; attempt++ {
-		sl = skeletonLeaves(func() {
-			parent[inner[0]] = inner[0]
-			for i := 1; i < m; i++ {
-				parent[inner[i]] = inner[src.Intn(i)]
-			}
-		})
-		if len(sl) <= k {
-			break
-		}
-	}
-	if len(sl) > k {
-		sl = skeletonLeaves(func() {
-			parent[inner[0]] = inner[0]
-			for i := 1; i < m; i++ {
-				parent[inner[i]] = inner[i-1]
-			}
-		})
-	}
-
-	// Give each skeleton-leaf one real leaf, then scatter the rest.
-	for i, v := range leaves {
-		if i < len(sl) {
-			parent[v] = sl[i]
-		} else {
-			parent[v] = inner[src.Intn(m)]
-		}
-	}
-	return New(parent)
+	return t.detached(), nil
 }
 
 // RandomWithInner returns a random rooted tree on n vertices with exactly m
 // inner (non-leaf) vertices. See RandomWithLeaves for the distribution
-// caveat.
+// caveat. Thin wrapper over RandomWithInnerInto (into.go).
 func RandomWithInner(n, m int, src *rng.Source) (*Tree, error) {
-	if n == 1 {
-		if m != 0 {
-			return nil, fmt.Errorf("%w: n=1 has 0 inner vertices, not %d", ErrInvalidTree, m)
-		}
-		return MustNew([]int{0}), nil
+	var b Buf
+	t, err := RandomWithInnerInto(&b, n, m, src)
+	if err != nil {
+		return nil, err
 	}
-	return RandomWithLeaves(n, n-m, src)
+	return t.detached(), nil
 }
