@@ -39,6 +39,16 @@
 // re-running overlapping grids recomputes only the new cells:
 //
 //	campaign -spec sweep.json -checkpoint sweep.ckpt -cache ~/.dyntreecast-cells -format json
+//
+// -join ADDR turns the run into a one-shot cluster coordinator: the
+// /cluster/lease and /cluster/results endpoints come up on ADDR and
+// remote workers (campaignd -worker -join http://ADDR) can lease grid
+// cells for the duration of the run, while the local pool keeps working.
+// Workers can join and die freely: unleased and abandoned cells fall back
+// to local execution, and the artifact is byte-identical to a purely
+// local run (see DESIGN.md §3e):
+//
+//	campaign -spec sweep.json -join :9090 -format json
 package main
 
 import (
@@ -46,14 +56,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/cluster"
 	"dyntreecast/internal/experiment"
 )
 
@@ -86,9 +100,18 @@ func run(args []string) error {
 		progress = fs.Bool("progress", false, "print job progress to stderr")
 		ckptPath = fs.String("checkpoint", "", "checkpoint completed jobs to this file; an existing matching checkpoint is resumed")
 		cacheDir = fs.String("cache", "", "content-addressed cell cache directory; overlapping grids reuse finished cells")
+		joinAddr = fs.String("join", "", "accept cluster workers on this address for the run (campaignd -worker -join)")
+		leaseTTL = fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "cell lease lifetime before re-issue (with -join)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *joinAddr == "" {
+		leaseTTLSet := false
+		fs.Visit(func(f *flag.Flag) { leaseTTLSet = leaseTTLSet || f.Name == "lease-ttl" })
+		if leaseTTLSet {
+			return fmt.Errorf("-lease-ttl is only meaningful with -join")
+		}
 	}
 
 	var spec campaign.Spec
@@ -144,6 +167,22 @@ func run(args []string) error {
 			return err
 		}
 		cfg.Cache = c
+	}
+	if *joinAddr != "" {
+		coord := cluster.New(cluster.Options{LeaseTTL: *leaseTTL})
+		ln, err := net.Listen("tcp", *joinAddr)
+		if err != nil {
+			return fmt.Errorf("-join: %w", err)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln)
+		defer func() {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(shutCtx)
+		}()
+		cfg.Remote = coord
+		fmt.Fprintf(os.Stderr, "campaign: accepting cluster workers on %s\n", ln.Addr())
 	}
 	if *ckptPath != "" {
 		cf, err := campaign.OpenCheckpointFile(*ckptPath, spec)

@@ -219,3 +219,44 @@ func TestParseHelpers(t *testing.T) {
 		t.Errorf("splitNames = %v", got)
 	}
 }
+
+// TestJoinFlag runs the CLI as a one-shot cluster coordinator on an
+// ephemeral port: the artifact must be byte-identical to a plain local
+// run of the same spec, with or without a worker actually joining.
+func TestJoinFlag(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	specJSON := `{"name":"joinsmoke","adversaries":["static-path","random-tree"],"ns":[8,16],"trials":3,"seed":7}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	localOut := filepath.Join(dir, "local.json")
+	if err := run([]string{"-spec", specPath, "-format", "json", "-out", localOut}); err != nil {
+		t.Fatal(err)
+	}
+	joinOut := filepath.Join(dir, "join.json")
+	if err := run([]string{"-spec", specPath, "-format", "json", "-out", joinOut, "-join", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	local, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := os.ReadFile(joinOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, joined) {
+		t.Errorf("-join artifact differs from local run:\n%s\nvs\n%s", joined, local)
+	}
+	// A busy or invalid address is a startup error, not a hang.
+	if err := run([]string{"-spec", specPath, "-join", "256.256.256.256:1"}); err == nil {
+		t.Error("run with bogus -join address succeeded")
+	}
+}
+
+func TestLeaseTTLRequiresJoin(t *testing.T) {
+	if err := run([]string{"-adversaries", "static-path", "-ns", "8", "-trials", "1", "-lease-ttl", "5s"}); err == nil {
+		t.Error("run with -lease-ttl but no -join succeeded")
+	}
+}

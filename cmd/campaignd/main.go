@@ -14,6 +14,18 @@
 // spec — to this daemon or a later one sharing the checkpoint directory —
 // resumes where it stopped and produces the same artifact an
 // uninterrupted run would have.
+//
+// With -cluster the daemon becomes a cluster coordinator: the
+// /cluster/lease and /cluster/results endpoints come up and every
+// campaign's grid cells can be leased by remote workers, started as
+//
+//	campaignd -worker -join http://coordinator:8080
+//
+// A worker pulls cell leases, executes them on the arena pipeline, and
+// pushes per-trial measurements keyed by each cell's content address.
+// Workers joining, dying, or timing out never change artifact bytes —
+// unleased and abandoned cells fall back to the coordinator's local pool
+// (see DESIGN.md §3e).
 package main
 
 import (
@@ -25,10 +37,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/cluster"
 	"dyntreecast/internal/server"
 )
 
@@ -48,6 +62,11 @@ type options struct {
 	checkpointDir string
 	cacheDir      string
 	drainTimeout  time.Duration
+	cluster       bool
+	leaseTTL      time.Duration
+	worker        bool
+	join          string
+	poll          time.Duration
 }
 
 func parseFlags(args []string) (options, error) {
@@ -59,11 +78,44 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "checkpoint campaigns to this directory (enables resume)")
 	fs.StringVar(&o.cacheDir, "cache", "", "content-addressed cell cache directory shared across campaigns")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
+	fs.BoolVar(&o.cluster, "cluster", false, "serve /cluster endpoints and let remote workers lease campaign cells")
+	fs.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultLeaseTTL, "cell lease lifetime before re-issue (with -cluster)")
+	fs.BoolVar(&o.worker, "worker", false, "run as a cluster worker instead of serving (requires -join)")
+	fs.StringVar(&o.join, "join", "", "coordinator base URL a -worker pulls cell leases from")
+	fs.DurationVar(&o.poll, "poll", 500*time.Millisecond, "worker idle poll interval (with -worker)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.worker && o.join == "" {
+		return options{}, fmt.Errorf("-worker requires -join <coordinator-url>")
+	}
+	if !o.cluster {
+		leaseTTLSet := false
+		fs.Visit(func(f *flag.Flag) { leaseTTLSet = leaseTTLSet || f.Name == "lease-ttl" })
+		if leaseTTLSet {
+			return options{}, fmt.Errorf("-lease-ttl is only meaningful with -cluster")
+		}
+	}
+	if !o.worker && o.join != "" {
+		return options{}, fmt.Errorf("-join is only meaningful with -worker")
+	}
+	if o.worker {
+		// A worker is only a lease executor: silently dropping daemon
+		// flags (cache, checkpoints, serving) would let a user believe
+		// they are active.
+		workerFlags := map[string]bool{"worker": true, "join": true, "poll": true}
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			if !workerFlags[f.Name] {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return options{}, fmt.Errorf("%s: daemon flags are not meaningful with -worker (a worker only executes leased cells)", strings.Join(stray, ", "))
+		}
 	}
 	return o, nil
 }
@@ -72,6 +124,9 @@ func parseFlags(args []string) (options, error) {
 // checkpoint directories as needed).
 func build(o options, logf func(string, ...any)) (*server.Server, error) {
 	opts := server.Options{Workers: o.workers, Batch: o.batch, CheckpointDir: o.checkpointDir, Logf: logf}
+	if o.cluster {
+		opts.Cluster = cluster.New(cluster.Options{LeaseTTL: o.leaseTTL, Logf: logf})
+	}
 	if o.checkpointDir != "" {
 		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("creating -checkpoint-dir: %w", err)
@@ -93,6 +148,16 @@ func run(args []string) error {
 		return err
 	}
 	logger := log.New(os.Stderr, "campaignd: ", log.LstdFlags)
+	if o.worker {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		logger.Printf("worker joining %s", o.join)
+		err := cluster.RunWorker(ctx, o.join, cluster.WorkerOptions{Poll: o.poll, Logf: logger.Printf})
+		if err == nil {
+			logger.Printf("worker stopped")
+		}
+		return err
+	}
 	srv, err := build(o, logger.Printf)
 	if err != nil {
 		return err

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -58,5 +61,65 @@ func TestBuildCreatesDirs(t *testing.T) {
 		if st, err := os.Stat(d); err != nil || !st.IsDir() {
 			t.Errorf("%s not created: %v", d, err)
 		}
+	}
+}
+
+func TestParseFlagsClusterAndWorker(t *testing.T) {
+	o, err := parseFlags([]string{"-cluster", "-lease-ttl", "10s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.cluster || o.leaseTTL != 10*time.Second {
+		t.Errorf("cluster options wrong: %+v", o)
+	}
+	o, err = parseFlags([]string{"-worker", "-join", "http://coord:8080", "-poll", "50ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.worker || o.join != "http://coord:8080" || o.poll != 50*time.Millisecond {
+		t.Errorf("worker options wrong: %+v", o)
+	}
+	// A worker without a coordinator, and a join without worker mode, are
+	// both configuration errors.
+	if _, err := parseFlags([]string{"-worker"}); err == nil {
+		t.Error("parseFlags(-worker) succeeded without -join")
+	}
+	if _, err := parseFlags([]string{"-join", "http://coord:8080"}); err == nil {
+		t.Error("parseFlags(-join) succeeded without -worker")
+	}
+}
+
+func TestBuildClusterMountsEndpoints(t *testing.T) {
+	srv, err := build(options{cluster: true, leaseTTL: time.Minute}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/cluster/lease", strings.NewReader(`{"worker":"w","engine":"bogus"}`))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Errorf("bogus-engine lease on -cluster daemon: status %d, want 409", rec.Code)
+	}
+}
+
+func TestParseFlagsWorkerRejectsDaemonFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-worker", "-join", "http://c:8080", "-cache", "cells"},
+		{"-worker", "-join", "http://c:8080", "-cluster"},
+		{"-worker", "-join", "http://c:8080", "-addr", ":9"},
+		{"-worker", "-join", "http://c:8080", "-checkpoint-dir", "ck"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) succeeded; daemon flags must be rejected in worker mode", args)
+		}
+	}
+}
+
+func TestLeaseTTLRequiresCluster(t *testing.T) {
+	if _, err := parseFlags([]string{"-lease-ttl", "5s"}); err == nil {
+		t.Error("parseFlags(-lease-ttl) succeeded without -cluster")
+	}
+	if _, err := parseFlags([]string{"-cluster", "-lease-ttl", "5s"}); err != nil {
+		t.Errorf("parseFlags(-cluster -lease-ttl): %v", err)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"dyntreecast/internal/bounds"
 	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/cluster"
 	"dyntreecast/internal/consensus"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/gamesolver"
@@ -412,6 +413,41 @@ func CampaignWithCheckpoint(path string) CampaignOption {
 // calls are serialized.
 func CampaignWithProgress(fn func(done, total int)) CampaignOption {
 	return func(s *campaignSettings) { s.cfg.Progress = fn }
+}
+
+// ClusterCoordinator shards running campaigns' grid cells to remote
+// workers over HTTP — the distributed campaign fabric. Mount its Handler
+// (or serve it through campaignd -cluster) so workers started with
+// campaignd -worker -join can lease cells; install it into a run with
+// CampaignWithCluster. Because every cell is a pure function of its
+// content address, remote workers — including ones that die mid-cell,
+// time out, or speak the wrong engine version — can never change
+// artifact bytes, only wall-clock time.
+type ClusterCoordinator = cluster.Coordinator
+
+// NewClusterCoordinator returns a coordinator with the default lease
+// lifetime. One coordinator serves any number of concurrent campaigns.
+func NewClusterCoordinator() *ClusterCoordinator { return cluster.New(cluster.Options{}) }
+
+// CampaignWithCluster distributes the campaign's grid cells through c:
+// remote workers lease whole cells over HTTP while the local pool keeps
+// executing, and whichever side finishes a cell first supplies its
+// (byte-identical) results. Unleased and abandoned cells always fall
+// back to local workers, so the campaign completes even if every worker
+// dies. Composes unchanged with CampaignWithCache and
+// CampaignWithCheckpoint — only cells they don't already cover are
+// distributed.
+func CampaignWithCluster(c *ClusterCoordinator) CampaignOption {
+	return func(s *campaignSettings) { s.cfg.Remote = c }
+}
+
+// RunClusterWorker joins the cluster coordinator at url (e.g.
+// "http://host:8080") and executes leased cells until ctx is cancelled:
+// the in-process form of campaignd -worker -join. Returns nil on
+// cancellation; a version-handshake rejection or an unreachable
+// coordinator is an error.
+func RunClusterWorker(ctx context.Context, url string) error {
+	return cluster.RunWorker(ctx, url, cluster.WorkerOptions{})
 }
 
 // CampaignWithBatch caps how many trials of one grid cell are scheduled

@@ -504,3 +504,48 @@ func submitAndWait(t *testing.T, ts *httptest.Server, body string) serverStatus 
 	t.Fatalf("campaign %s never finished", sub.ID)
 	return serverStatus{}
 }
+
+// TestCampaignWithCluster drives the distributed fabric through the root
+// facade: a coordinator served over HTTP, one in-process worker joined
+// with RunClusterWorker, and an outcome identical to a local run.
+func TestCampaignWithCluster(t *testing.T) {
+	spec := dyntreecast.Campaign{
+		Adversaries: []string{"random-tree", "static-path"},
+		Ns:          []int{8, 12},
+		Trials:      4,
+		Seed:        11,
+	}
+	want, err := dyntreecast.RunCampaign(context.Background(), spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := dyntreecast.NewClusterCoordinator()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- dyntreecast.RunClusterWorker(ctx, ts.URL) }()
+	defer func() {
+		cancel()
+		if err := <-workerDone; err != nil {
+			t.Errorf("RunClusterWorker: %v", err)
+		}
+	}()
+
+	got, err := dyntreecast.RunCampaign(context.Background(), spec, 2,
+		dyntreecast.CampaignWithCluster(coord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON, gotJSON bytes.Buffer
+	if err := want.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	if wantJSON.String() != gotJSON.String() {
+		t.Errorf("clustered campaign artifact differs from local run:\n%s\nvs\n%s", gotJSON.String(), wantJSON.String())
+	}
+}

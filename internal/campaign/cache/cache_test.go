@@ -129,3 +129,25 @@ func TestConcurrentPutGet(t *testing.T) {
 		})
 	}
 }
+
+func TestMemoryLenAndDirRoot(t *testing.T) {
+	m := NewMemory()
+	if m.Len() != 0 {
+		t.Errorf("fresh memory cache Len = %d", m.Len())
+	}
+	key := strings.Repeat("ab", 32)
+	if err := m.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len after one Put = %d", m.Len())
+	}
+	root := filepath.Join(t.TempDir(), "cells")
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root() != root {
+		t.Errorf("Root() = %q, want %q", d.Root(), root)
+	}
+}

@@ -189,6 +189,19 @@ type Config struct {
 	// recomputed, and freshly computed cells are stored on completion.
 	// Ignored by Run, which has no cell structure.
 	Cache cache.Cache
+	// Remote, when non-nil, distributes whole grid cells to external
+	// executors (internal/cluster's Coordinator over HTTP) while the
+	// local pool keeps working: local workers claim unleased cells,
+	// leased cells that time out are re-issued or stolen locally, and
+	// results merge into the same job-indexed slice either way — so
+	// remote workers (including ones that die, stall, or speak the wrong
+	// engine version) can never change artifact bytes, only wall-clock
+	// time; see internal/cluster's trust note. Checkpoints and the
+	// cell cache compose unchanged: only cells they don't already cover
+	// are distributed. Batch is ignored in remote mode (the scheduling
+	// unit is the whole cell); ignored by Run, which has no cell
+	// structure.
+	Remote Remote
 }
 
 // Run executes jobs on a worker pool and returns one JobResult per job, in
@@ -198,19 +211,7 @@ type Config struct {
 // results for jobs that did complete are still returned and the rest are
 // marked Skipped.
 func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
-	results := make([]JobResult, len(jobs))
-	for i := range results {
-		results[i] = JobResult{Index: i, Skipped: true}
-	}
-	reused := 0
-	for idx, r := range cfg.Completed {
-		if idx < 0 || idx >= len(jobs) {
-			continue
-		}
-		r.Index, r.Skipped = idx, false
-		results[idx] = r
-		reused++
-	}
+	results, reused := initResults(jobs, cfg.Completed)
 	if len(jobs) == 0 {
 		return results, ctx.Err()
 	}
@@ -249,14 +250,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
 						// Drain without running so the feeder never blocks.
 						continue
 					}
-					job := jobs[idx]
-					var ms []Measurement
-					var err error
-					if job.RunArena != nil && (!cfg.NoReuse || job.Run == nil) {
-						ms, err = job.RunArena(ctx, job.Src, arena)
-					} else {
-						ms, err = job.Run(ctx, job.Src)
-					}
+					ms, err := execJob(ctx, jobs[idx], arena, cfg.NoReuse)
 					results[idx] = JobResult{Index: idx, Measurements: ms, Err: err}
 					if cfg.Progress != nil || cfg.OnResult != nil {
 						mu.Lock()
@@ -303,6 +297,39 @@ feed:
 		return results, fmt.Errorf("campaign: cancelled: %w", err)
 	}
 	return results, nil
+}
+
+// initResults builds the result slice every execution path starts from:
+// one Skipped placeholder per job, with in-range completed results
+// spliced in (Index and Skipped normalized) and counted. Shared by Run
+// and runRemote so the reuse semantics cannot drift between the local
+// and distributed paths.
+func initResults(jobs []Job, completed map[int]JobResult) ([]JobResult, int) {
+	results := make([]JobResult, len(jobs))
+	for i := range results {
+		results[i] = JobResult{Index: i, Skipped: true}
+	}
+	reused := 0
+	for idx, r := range completed {
+		if idx < 0 || idx >= len(jobs) {
+			continue
+		}
+		r.Index, r.Skipped = idx, false
+		results[idx] = r
+		reused++
+	}
+	return results, reused
+}
+
+// execJob runs one job on the worker's arena, preferring the pooled
+// RunArena closure unless noReuse forces the reference per-trial path.
+// Shared by the local pool and the remote path's local fallback so the
+// dispatch rule cannot drift.
+func execJob(ctx context.Context, job Job, arena *Arena, noReuse bool) ([]Measurement, error) {
+	if job.RunArena != nil && (!noReuse || job.Run == nil) {
+		return job.RunArena(ctx, job.Src, arena)
+	}
+	return job.Run(ctx, job.Src)
 }
 
 // batch is one scheduling unit: the half-open job-index range [lo, hi).

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/gamesolver"
+	"dyntreecast/internal/rng"
+)
+
+// TestExactCrossValidation cross-validates the fast measurement pipeline
+// against exhaustively solved small instances: for n ≤ 5 the campaign
+// pool measures the broadcast times certified by the beam and deep-line
+// search adversaries, and every measurement must sit at or below the
+// exact game value t*(Tn) from internal/gamesolver — which itself must
+// sit inside the paper's bound curves. A measurement above the exact
+// optimum would mean a broken engine (counting rounds wrong) or a broken
+// solver; an exact value outside the sandwich would falsify the bound
+// formulas. The schedules run as ad-hoc campaign jobs so the comparison
+// exercises the same pool, sources, and aggregation the real sweeps use.
+func TestExactCrossValidation(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		solver, err := gamesolver.New(n)
+		if err != nil {
+			t.Fatalf("gamesolver.New(%d): %v", n, err)
+		}
+		exact := solver.Value()
+		if lo, hi := bounds.Lower(n), bounds.UpperLinear(n); exact < lo || exact > hi {
+			t.Fatalf("n=%d: exact value %d outside the paper's sandwich [%d, %d]", n, exact, lo, hi)
+		}
+
+		// Beam searches from several seeds plus the deep-line search, each
+		// measured as one campaign job replaying its schedule on a fresh
+		// engine.
+		var jobs []Job
+		addReplay := func(cell string, rep adversary.Replay, certified int) {
+			jobs = append(jobs, Job{
+				Index: len(jobs),
+				Cell:  cell,
+				Src:   rng.New(uint64(len(jobs) + 1)), // unused by Replay; jobs own a source by contract
+				Run: func(_ context.Context, _ *rng.Source) ([]Measurement, error) {
+					rounds, err := core.BroadcastTime(n, rep)
+					if err != nil {
+						return nil, err
+					}
+					if rounds != certified {
+						return nil, fmt.Errorf("replay of %s survives %d rounds, search certified %d", cell, rounds, certified)
+					}
+					return []Measurement{{Cell: cell, Value: float64(rounds)}}, nil
+				},
+			})
+		}
+		for seed := uint64(1); seed <= 4; seed++ {
+			rep, certified := adversary.BeamSearch(n, adversary.BeamConfig{Width: 8, Seed: seed})
+			addReplay(fmt.Sprintf("beam/n=%d/seed=%d", n, seed), rep, certified)
+		}
+		line, certified, err := gamesolver.DeepestLine(n, 4000, 8)
+		if err != nil {
+			t.Fatalf("DeepestLine(%d): %v", n, err)
+		}
+		addReplay(fmt.Sprintf("deepline/n=%d", n), adversary.Replay{Trees: line}, certified)
+
+		results, err := Run(context.Background(), jobs, Config{Workers: 2})
+		if err != nil {
+			t.Fatalf("n=%d: campaign Run: %v", n, err)
+		}
+		if err := JoinErrors(results); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, c := range Aggregate(results) {
+			if int(c.Max) > exact {
+				t.Errorf("n=%d: campaign-measured %s = %v rounds exceeds the exact optimum %d", n, c.Cell, c.Max, exact)
+			}
+			if int(c.Max) < bounds.Lower(2) { // any schedule survives at least one round for n >= 2
+				t.Errorf("n=%d: %s measured %v rounds, want >= 1", n, c.Cell, c.Max)
+			}
+		}
+		// The deep-line search is exhaustive-with-budget at these sizes:
+		// with a 4000-state budget it must certify the exact optimum for
+		// n ≤ 4 (and may for 5), pinning solver and search against each
+		// other.
+		if n <= 4 && certified != exact {
+			t.Errorf("n=%d: deep-line certifies %d, exact solver says %d", n, certified, exact)
+		}
+	}
+}

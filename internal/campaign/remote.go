@@ -1,0 +1,319 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the campaign side of the distributed campaign fabric
+// (DESIGN.md §3e): RunSpec can shard a compiled spec's grid cells to
+// remote workers through a Remote scheduler while its own local pool
+// keeps executing, and merge whatever comes back into the same
+// job-indexed result slice the purely local path fills.
+//
+// The unit of distribution is the whole cell. PR 2 made every cell a pure
+// function of (engine version, seed, goal, round budget, scenario, n,
+// trials) — its random streams are derived from the cell's own content
+// address, never from grid position — so a cell can be executed anywhere
+// and its per-trial measurements merged byte-identically. A CellJob
+// carries a self-contained single-cell Spec; executing that spec on any
+// machine running the same engine version reproduces the coordinator's
+// bytes exactly, which is why remote execution can never change an
+// artifact, only wall-clock time.
+
+// CellJob is one whole-cell unit of distributable work: a self-contained
+// canonical single-cell Spec plus the cell's content address. Executing
+// Spec anywhere (ExecuteCellJob) yields the cell's per-trial measurements,
+// byte-identical to a local run — the streams are derived from the content
+// address, not from where the cell sits in any grid.
+type CellJob struct {
+	Cell   string `json:"cell"`   // display key ("random-tree/n=64")
+	Key    string `json:"key"`    // content address (cell cache key)
+	Trials int    `json:"trials"` // per-trial measurement slices a result must carry
+	Spec   Spec   `json:"spec"`   // canonical spec compiling to exactly this cell
+}
+
+// Remote distributes whole cells of running campaigns to external
+// executors. RunSpec calls Open with the campaign's pending cells; the
+// local pool and the remote side then race for cells through the returned
+// session, and whichever completes a cell first supplies its results.
+// internal/cluster's Coordinator is the HTTP implementation.
+type Remote interface {
+	// Open registers a campaign's pending cells. deliver is invoked at
+	// most once per cell — serialized per cell, possibly concurrently
+	// across cells — with the cell's per-trial measurements in trial
+	// order (exactly job.Trials slices) when the remote side completes
+	// it. Cells the local pool claims and completes (ClaimLocal +
+	// CompleteLocal) are never delivered.
+	Open(jobs []CellJob, deliver func(key string, trials [][]Measurement)) RemoteSession
+}
+
+// RemoteSession coordinates one campaign's cells between the local pool
+// and remote workers.
+type RemoteSession interface {
+	// ClaimLocal blocks until a cell is available for local execution and
+	// claims it, returning false when every cell is complete, the session
+	// is closed, or ctx is done. Cells under an active remote lease are
+	// not handed out until the lease expires, so local and remote work
+	// overlap only when a lease times out.
+	ClaimLocal(ctx context.Context) (CellJob, bool)
+	// CompleteLocal marks a locally executed cell complete, reporting
+	// whether the caller won (false means the remote side delivered the
+	// cell first and the local results must be discarded).
+	CompleteLocal(key string) bool
+	// Close detaches the campaign from the scheduler; pending cells are
+	// withdrawn and late remote results are dropped.
+	Close()
+}
+
+// CellJobs returns the spec's feasible grid cells as self-contained
+// remote work units, in compile order. This is the distribution-side view
+// of Compile: each job's single-cell Spec compiles (anywhere) to the
+// cell's exact trial streams, and Key is the same content address the
+// cell cache uses.
+func (s *Spec) CellJobs() ([]CellJob, error) {
+	_, cells, canon, err := s.compile()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CellJob, len(cells))
+	for i, c := range cells {
+		out[i] = cellJob(canon, c)
+	}
+	return out, nil
+}
+
+// cellJob builds the self-contained work unit of one compiled cell: a
+// canonical spec with exactly the cell's scenario and n. Its cell
+// identity — and therefore its streams and content address — matches the
+// originating grid's, because identities never depend on grid position.
+func cellJob(canon Spec, c cellPlan) CellJob {
+	return CellJob{
+		Cell:   c.Cell,
+		Key:    c.Key,
+		Trials: len(c.JobIdx),
+		Spec: Spec{
+			Version:   SpecVersion,
+			Scenarios: []Scenario{c.Scenario},
+			Ns:        []int{c.N},
+			Trials:    canon.Trials,
+			Seed:      canon.Seed,
+			Goal:      canon.Goal,
+			MaxRounds: canon.MaxRounds,
+		},
+	}
+}
+
+// ExecuteCellJob runs one leased cell to completion and returns its
+// per-trial measurements in trial order — the worker side of the cluster
+// protocol. The job's spec is compiled locally and checked against the
+// job's content address (the handshake that catches engine drift beyond
+// the version string); any trial error fails the whole cell, because
+// partial cells are never pushed — the coordinator re-queues failed
+// leases and the deterministic error surfaces through the local pool
+// instead.
+func ExecuteCellJob(ctx context.Context, job CellJob) ([][]Measurement, error) {
+	jobs, cells, _, err := job.Spec.compile()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cell %s: %w", job.Cell, err)
+	}
+	if len(cells) != 1 || len(jobs) != len(cells[0].JobIdx) {
+		return nil, fmt.Errorf("campaign: cell %s: spec compiles to %d cells, want exactly 1", job.Cell, len(cells))
+	}
+	if cells[0].Key != job.Key {
+		return nil, fmt.Errorf("campaign: cell %s: content address mismatch (lease %.12s, computed %.12s)",
+			job.Cell, job.Key, cells[0].Key)
+	}
+	results, err := Run(ctx, jobs, Config{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	trials := make([][]Measurement, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("campaign: cell %s trial %d: %w", job.Cell, i, r.Err)
+		}
+		trials[i] = r.Measurements
+	}
+	return trials, nil
+}
+
+// remoteCell is one unit of distributable work, keyed by content
+// address: every compiled plan sharing the address (duplicate grid
+// cells have identical streams) plus, per plan, the job indexes not
+// already covered by the checkpoint or cache, in trial order.
+type remoteCell struct {
+	plans   []cellPlan
+	pending [][]int // parallel to plans
+}
+
+// runRemote is RunSpec's execution path when Config.Remote is set: cells
+// not already satisfied by the checkpoint or cache are offered to the
+// remote scheduler while cfg.Workers local workers claim and execute the
+// rest, whole cell by whole cell, on pooled arenas. Results land in the
+// job-indexed slice whichever side computes them, so the aggregated
+// outcome is byte-identical to a purely local run — remote workers (and
+// their failures) can only move wall-clock time.
+func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cfg Config) ([]JobResult, error) {
+	results, reused := initResults(jobs, cfg.Completed)
+
+	// Cells with at least one job not covered by the checkpoint/cache are
+	// the distributable work, grouped by content address: a grid that
+	// lists the same cell twice (ns: [8, 8]) compiles to two plans with
+	// one address and identical streams, so one execution — local or
+	// remote — must splice into every plan sharing the key, and the
+	// scheduler must see the key exactly once.
+	work := make(map[string]*remoteCell, len(cells))
+	var cellJobs []CellJob
+	for _, c := range cells {
+		var todo []int
+		for _, idx := range c.JobIdx {
+			if results[idx].Skipped {
+				todo = append(todo, idx)
+			}
+		}
+		if len(todo) == 0 {
+			continue
+		}
+		rc := work[c.Key]
+		if rc == nil {
+			rc = &remoteCell{}
+			work[c.Key] = rc
+			cellJobs = append(cellJobs, cellJob(canon, c))
+		}
+		rc.plans = append(rc.plans, c)
+		rc.pending = append(rc.pending, todo)
+	}
+	if len(cellJobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	var (
+		mu     sync.Mutex // guards results splicing, callbacks, and closed
+		done   = reused
+		closed bool
+	)
+	// fire splices one cell's fresh results and runs the callbacks, in
+	// job-index (trial) order. After close (cancellation teardown) late
+	// remote deliveries are dropped so nothing touches the results slice
+	// once runRemote returned it.
+	fire := func(rs []JobResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed {
+			return
+		}
+		for _, r := range rs {
+			results[r.Index] = r
+			if cfg.OnResult != nil {
+				cfg.OnResult(r)
+			}
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, len(jobs))
+			}
+		}
+	}
+	deliver := func(key string, trials [][]Measurement) {
+		rc, ok := work[key]
+		if !ok {
+			return
+		}
+		var rs []JobResult
+		for pi, plan := range rc.plans {
+			todo := rc.pending[pi]
+			if len(trials) != len(plan.JobIdx) {
+				// The Remote contract (and the coordinator's result
+				// validation) guarantee exactly Trials slices; a scheduler
+				// that violates it has marked the cell complete, so the
+				// only non-wedging response is loud per-job errors in the
+				// artifact (a hang or a swallowed panic would hide it).
+				err := fmt.Errorf("campaign: remote delivered %d trials for cell %s, want %d",
+					len(trials), plan.Cell, len(plan.JobIdx))
+				for _, idx := range todo {
+					rs = append(rs, JobResult{Index: idx, Err: err})
+				}
+				continue
+			}
+			// Two-pointer merge: todo is a subsequence of plan.JobIdx
+			// (both ascending), so one pass splices exactly the uncovered
+			// trials.
+			spliced := 0
+			for ti, idx := range plan.JobIdx {
+				if spliced < len(todo) && todo[spliced] == idx {
+					rs = append(rs, JobResult{Index: idx, Measurements: trials[ti]})
+					spliced++
+				}
+			}
+		}
+		fire(rs)
+	}
+
+	session := cfg.Remote.Open(cellJobs, deliver)
+	defer session.Close()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cellJobs) {
+		workers = len(cellJobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := NewArena()
+			for {
+				job, ok := session.ClaimLocal(ctx)
+				if !ok {
+					return
+				}
+				// Whole-cell execution on the worker's arena, exactly the
+				// batched pipeline's cell loop: fresh round budget, then
+				// trial after trial through the job closures — for every
+				// plan sharing the claimed content address.
+				arena.Runner.MaxRounds = 0
+				rc := work[job.Key]
+				var rs []JobResult
+				cancelled := false
+				for _, todo := range rc.pending {
+					for _, idx := range todo {
+						if ctx.Err() != nil {
+							cancelled = true
+							break
+						}
+						ms, err := execJob(ctx, jobs[idx], arena, cfg.NoReuse)
+						rs = append(rs, JobResult{Index: idx, Measurements: ms, Err: err})
+					}
+				}
+				if cancelled {
+					// Partial cells are discarded (their jobs stay
+					// Skipped), mirroring the local pool's drain-on-cancel.
+					return
+				}
+				if session.CompleteLocal(job.Key) {
+					fire(rs)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	closed = true
+	mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Skipped {
+				results[i].Err = err
+			}
+		}
+		return results, fmt.Errorf("campaign: cancelled: %w", err)
+	}
+	return results, nil
+}

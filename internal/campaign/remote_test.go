@@ -1,0 +1,283 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeRemote is an in-process Remote for exercising runRemote without
+// HTTP: it "executes" a chosen subset of cells on a goroutine via
+// ExecuteCellJob and leaves the rest to the local pool.
+type fakeRemote struct {
+	// takes decides which offered cells the fake executes remotely.
+	takes func(i int, job CellJob) bool
+}
+
+type fakeSession struct {
+	mu      sync.Mutex
+	order   []string
+	cells   map[string]*fakeCell
+	pending int
+	closed  bool
+	notify  chan struct{}
+}
+
+type fakeCell struct {
+	job    CellJob
+	remote bool // owned by the fake's executor goroutine
+	done   bool
+}
+
+func (f *fakeRemote) Open(jobs []CellJob, deliver func(key string, trials [][]Measurement)) RemoteSession {
+	s := &fakeSession{cells: make(map[string]*fakeCell, len(jobs)), pending: len(jobs), notify: make(chan struct{})}
+	var mine []CellJob
+	for i, j := range jobs {
+		c := &fakeCell{job: j, remote: f.takes != nil && f.takes(i, j)}
+		s.order = append(s.order, j.Key)
+		s.cells[j.Key] = c
+		if c.remote {
+			mine = append(mine, j)
+		}
+	}
+	go func() {
+		for _, j := range mine {
+			trials, err := ExecuteCellJob(context.Background(), j)
+			if err != nil {
+				panic(err) // test grids never fail
+			}
+			s.mu.Lock()
+			c := s.cells[j.Key]
+			if c.done {
+				s.mu.Unlock()
+				continue
+			}
+			c.done = true
+			s.mu.Unlock()
+			deliver(j.Key, trials)
+			s.mu.Lock()
+			s.pending--
+			close(s.notify)
+			s.notify = make(chan struct{})
+			s.mu.Unlock()
+		}
+	}()
+	return s
+}
+
+func (s *fakeSession) ClaimLocal(ctx context.Context) (CellJob, bool) {
+	for {
+		s.mu.Lock()
+		if s.closed || s.pending == 0 {
+			s.mu.Unlock()
+			return CellJob{}, false
+		}
+		for _, key := range s.order {
+			c := s.cells[key]
+			if !c.done && !c.remote {
+				c.remote = true // mark claimed so no other local worker takes it
+				job := c.job
+				s.mu.Unlock()
+				return job, true
+			}
+		}
+		notify := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return CellJob{}, false
+		case <-notify:
+		}
+	}
+}
+
+func (s *fakeSession) CompleteLocal(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cells[key]
+	if c == nil || c.done {
+		return false
+	}
+	c.done = true
+	s.pending--
+	close(s.notify)
+	s.notify = make(chan struct{})
+	return true
+}
+
+func (s *fakeSession) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+func remoteTestSpec() Spec {
+	return Spec{
+		Name: "remote-unit",
+		Scenarios: []Scenario{
+			{Adversary: "random-tree"},
+			{Adversary: "k-leaves", Params: map[string]any{"k": []any{2, 3}}},
+		},
+		Ns:     []int{6, 8},
+		Trials: 4,
+		Seed:   13,
+	}
+}
+
+func outcomeJSON(t *testing.T, out *Outcome) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := out.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRunSpecRemoteByteIdentity pins the core contract of the remote
+// path: for every split of cells between the "remote" executor and the
+// local pool — all remote, all local, interleaved — and with NoReuse on
+// or off, the artifact is byte-identical to the plain local pipeline.
+func TestRunSpecRemoteByteIdentity(t *testing.T) {
+	spec := remoteTestSpec()
+	want, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := outcomeJSON(t, want)
+
+	splits := map[string]func(i int, job CellJob) bool{
+		"all-remote":  func(int, CellJob) bool { return true },
+		"all-local":   func(int, CellJob) bool { return false },
+		"interleaved": func(i int, _ CellJob) bool { return i%2 == 0 },
+	}
+	for name, takes := range splits {
+		for _, noReuse := range []bool{false, true} {
+			out, err := RunSpec(context.Background(), spec, Config{
+				Workers: 2, Remote: &fakeRemote{takes: takes}, NoReuse: noReuse,
+			})
+			if err != nil {
+				t.Fatalf("%s noReuse=%v: %v", name, noReuse, err)
+			}
+			if got := outcomeJSON(t, out); got != wantJSON {
+				t.Errorf("%s noReuse=%v: artifact differs from local run:\n%s\nvs\n%s", name, noReuse, got, wantJSON)
+			}
+			if out.Completed != out.Jobs || out.Failed != 0 {
+				t.Errorf("%s noReuse=%v: completed %d/%d, failed %d", name, noReuse, out.Completed, out.Jobs, out.Failed)
+			}
+		}
+	}
+}
+
+// TestRunSpecRemotePartialCheckpoint covers the splice seam: a
+// checkpoint that holds some trials of a cell composes with a remote
+// delivery of the whole cell — checkpointed results win their indexes,
+// remote results fill the rest, bytes unchanged.
+func TestRunSpecRemotePartialCheckpoint(t *testing.T) {
+	spec := remoteTestSpec()
+	want, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := outcomeJSON(t, want)
+
+	// Run once locally to harvest genuine results, then replay a partial
+	// scatter of them as the checkpoint: every third job.
+	jobs, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(context.Background(), jobs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := map[int]JobResult{}
+	for i, r := range full {
+		if i%3 == 0 {
+			completed[i] = r
+		}
+	}
+	fresh := 0
+	out, err := RunSpec(context.Background(), spec, Config{
+		Workers:   2,
+		Remote:    &fakeRemote{takes: func(int, CellJob) bool { return true }},
+		Completed: completed,
+		OnResult:  func(JobResult) { fresh++ }, // serialized by runRemote's mutex
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outcomeJSON(t, out); got != wantJSON {
+		t.Errorf("partial-checkpoint remote artifact differs:\n%s\nvs\n%s", got, wantJSON)
+	}
+	if out.Reused != len(completed) {
+		t.Errorf("Reused = %d, want %d", out.Reused, len(completed))
+	}
+	if fresh != out.Jobs-len(completed) {
+		t.Errorf("OnResult saw %d fresh jobs, want %d", fresh, out.Jobs-len(completed))
+	}
+}
+
+// TestRunSpecRemoteCancellation: cancelling a remote-backed run returns
+// the cancellation error and marks unfinished jobs skipped, like the
+// local pool does.
+func TestRunSpecRemoteCancellation(t *testing.T) {
+	spec := remoteTestSpec()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any work
+	out, err := RunSpec(ctx, spec, Config{
+		Workers: 1, Remote: &fakeRemote{takes: func(int, CellJob) bool { return false }},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if out == nil || out.Completed != 0 {
+		t.Fatalf("outcome = %+v, want zero completed", out)
+	}
+}
+
+// TestCellJobsSelfContained: every CellJob's embedded spec recompiles —
+// anywhere — to exactly its own cell, with the same content address the
+// cache uses, and ExecuteCellJob rejects tampered addresses.
+func TestCellJobsSelfContained(t *testing.T) {
+	spec := remoteTestSpec()
+	cellJobs, err := spec.CellJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cells, _, err := spec.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cellJobs) != len(cells) {
+		t.Fatalf("CellJobs returned %d jobs for %d cells", len(cellJobs), len(cells))
+	}
+	for i, j := range cellJobs {
+		if j.Key != cells[i].Key || j.Cell != cells[i].Cell || j.Trials != len(cells[i].JobIdx) {
+			t.Errorf("cell job %d = %+v does not match plan %+v", i, j, cells[i])
+		}
+		trials, err := ExecuteCellJob(context.Background(), j)
+		if err != nil {
+			t.Fatalf("ExecuteCellJob(%s): %v", j.Cell, err)
+		}
+		if len(trials) != j.Trials {
+			t.Errorf("ExecuteCellJob(%s) returned %d trials, want %d", j.Cell, len(trials), j.Trials)
+		}
+	}
+	// Tampered content address: the worker-side handshake must refuse.
+	bad := cellJobs[0]
+	bad.Key = "0000000000000000"
+	if _, err := ExecuteCellJob(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "content address mismatch") {
+		t.Errorf("tampered ExecuteCellJob err = %v, want content address mismatch", err)
+	}
+	// An invalid embedded spec is an error, not a panic.
+	bad = cellJobs[0]
+	bad.Spec.Trials = 0
+	if _, err := ExecuteCellJob(context.Background(), bad); err == nil {
+		t.Error("ExecuteCellJob with invalid spec succeeded")
+	}
+	if _, err := (&Spec{}).CellJobs(); err == nil {
+		t.Error("CellJobs on an empty spec succeeded")
+	}
+}

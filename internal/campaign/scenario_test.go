@@ -395,3 +395,38 @@ func TestFamiliesOrderStable(t *testing.T) {
 		t.Errorf("builtin order = %v, want %v", names[:len(wantPrefix)], wantPrefix)
 	}
 }
+
+func TestParamsAccessors(t *testing.T) {
+	p := Params{"k": float64(3), "rate": float64(0.5), "mode": "greedy", "strict": true}
+	if p.Int("k") != 3 || p.Int("missing") != 0 {
+		t.Errorf("Int accessor wrong: %v", p)
+	}
+	if p.Float("rate") != 0.5 || p.Float("missing") != 0 {
+		t.Errorf("Float accessor wrong: %v", p)
+	}
+	if p.String("mode") != "greedy" || p.String("missing") != "" {
+		t.Errorf("String accessor wrong: %v", p)
+	}
+	if !p.Bool("strict") || p.Bool("missing") {
+		t.Errorf("Bool accessor wrong: %v", p)
+	}
+}
+
+func TestScenarioFlag(t *testing.T) {
+	var f ScenarioFlag
+	if err := f.Set("random-tree"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set(`{"adversary":"k-leaves","params":{"k":2}}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("{broken"); err == nil {
+		t.Error("Set accepted malformed scenario JSON")
+	}
+	if len(f) != 2 || f[0].Adversary != "random-tree" || f[1].Adversary != "k-leaves" {
+		t.Errorf("accumulated flag wrong: %+v", f)
+	}
+	if s := f.String(); !strings.Contains(s, "random-tree") || !strings.Contains(s, "k-leaves") {
+		t.Errorf("String() = %q", s)
+	}
+}

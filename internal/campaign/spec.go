@@ -245,11 +245,15 @@ func (s *Spec) cellCacheKey(g groundScenario, n int) string {
 }
 
 // cellPlan records one grid cell of a compiled spec: its coordinates, its
-// cache key, and the indexes of its jobs in trial order.
+// cache key, and the indexes of its jobs in trial order. Scenario and N
+// are the cell's canonical coordinates, kept so the remote layer can
+// rebuild the cell as a self-contained single-cell spec (see cellJob).
 type cellPlan struct {
-	Cell   string // display key (groundScenario.cellName)
-	Key    string // content address (cellCacheKey)
-	JobIdx []int  // job indexes, one per trial, in trial order
+	Cell     string   // display key (groundScenario.cellName)
+	Key      string   // content address (cellCacheKey)
+	Scenario Scenario // canonical ground scenario of the cell
+	N        int      // the cell's n coordinate
+	JobIdx   []int    // job indexes, one per trial, in trial order
 }
 
 // Compile validates the spec and expands its grid into jobs. The grid is
@@ -308,7 +312,7 @@ func (s *Spec) compile() ([]Job, []cellPlan, Spec, error) {
 				continue
 			}
 			cell := g.cellName(n)
-			plan := cellPlan{Cell: cell, Key: canon.cellCacheKey(g, n)}
+			plan := cellPlan{Cell: cell, Key: canon.cellCacheKey(g, n), Scenario: g.scenario(), N: n}
 			root := rng.New(canon.cellSeed(g, n))
 			for trial := 0; trial < canon.Trials; trial++ {
 				plan.JobIdx = append(plan.JobIdx, len(jobs))
@@ -477,7 +481,13 @@ func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
 	}
 	runCfg := cfg
 	runCfg.Completed = completed
-	results, runErr := Run(ctx, jobs, runCfg)
+	var results []JobResult
+	var runErr error
+	if cfg.Remote != nil {
+		results, runErr = runRemote(ctx, jobs, cells, canon, runCfg)
+	} else {
+		results, runErr = Run(ctx, jobs, runCfg)
+	}
 	if cfg.Cache != nil && runErr == nil {
 		for _, c := range misses {
 			ent := cellEntry{Cell: c.Cell, Trials: make([][]Measurement, len(c.JobIdx))}

@@ -1,0 +1,506 @@
+// Package cluster implements the distributed campaign fabric (DESIGN.md
+// §3e): a Coordinator that shards running campaigns' grid cells to remote
+// workers over HTTP, and the worker loop (RunWorker) that leases cells,
+// executes them on the arena pipeline, and pushes per-trial measurements
+// back keyed by each cell's content address.
+//
+// The protocol is two endpoints, mounted by internal/server (and by
+// cmd/campaign -join) under /cluster:
+//
+//	POST /cluster/lease    {worker, engine} → 200 {lease_id, ttl_ms, job}
+//	                       | 204 (no pending work) | 409 (engine version
+//	                       mismatch — the handshake that keeps a stale
+//	                       worker from ever computing a cell)
+//	POST /cluster/results  {lease_id, worker, key, trials | error}
+//	                       → 200 {accepted, reason?}
+//
+// Correctness leans entirely on the campaign determinism contract: a cell
+// is a pure function of its content address, so the coordinator is free
+// to re-issue expired leases, let the local pool steal abandoned cells,
+// and drop duplicate or stale results — whichever source completes a cell
+// first supplies bytes identical to every other source. A dead, slow,
+// stale-versioned, or truncating worker can therefore change only
+// wall-clock time, never an artifact. See DESIGN.md §3e for the lease
+// lifecycle and the byte-identity argument.
+//
+// Trust note: workers are trusted to compute honestly. The protocol
+// validates lease currency, the content-address echo, the trial count,
+// and measurement cell labels, but it does not recompute or
+// cryptographically verify measurement values — a worker that fabricates
+// plausible values for a cell it legitimately holds can corrupt that
+// cell. Run workers inside your trust boundary (the endpoints carry no
+// authentication), exactly as you would the machine the campaign runs
+// on.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dyntreecast/internal/campaign"
+)
+
+// DefaultLeaseTTL is the lease lifetime when Options.LeaseTTL is unset:
+// long enough for any realistic cell, short enough that a dead worker
+// delays its cell by at most a minute before re-issue.
+const DefaultLeaseTTL = time.Minute
+
+// Options configures a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a worker holds an unacknowledged cell lease
+	// before the coordinator re-issues it (to another worker or the local
+	// pool); <= 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Logf, when non-nil, receives one line per lease lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// LeaseRequest is the body of POST /cluster/lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"` // self-chosen worker identity, for logs
+	Engine string `json:"engine"` // the worker's campaign.EngineVersion
+}
+
+// LeaseResponse is the 200 body of POST /cluster/lease: one leased cell.
+type LeaseResponse struct {
+	LeaseID  string           `json:"lease_id"`
+	TTLMilli int64            `json:"ttl_ms"` // lease lifetime granted
+	Job      campaign.CellJob `json:"job"`
+}
+
+// ResultPush is the body of POST /cluster/results: a completed cell's
+// per-trial measurements (or, with Error set, a failed lease the
+// coordinator should re-queue).
+type ResultPush struct {
+	LeaseID string                   `json:"lease_id"`
+	Worker  string                   `json:"worker"`
+	Key     string                   `json:"key"` // echo of the cell's content address
+	Trials  [][]campaign.Measurement `json:"trials,omitempty"`
+	Error   string                   `json:"error,omitempty"`
+}
+
+// ResultAck is the 200 body of POST /cluster/results. Accepted is false
+// for stale, duplicate, or re-queued pushes — all harmless: the cell's
+// bytes are the same wherever it runs, so the coordinator just reports
+// which source won.
+type ResultAck struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Stats counts coordinator lifecycle events since construction.
+type Stats struct {
+	LeasesGranted  int // cells handed to remote workers
+	LeasesRejected int // version-handshake rejections
+	RemoteCells    int // cells completed by remote workers
+	Requeued       int // leases expired, failed, or invalid → cell re-pooled
+}
+
+// Coordinator shards the cells of running campaigns to HTTP workers. It
+// implements campaign.Remote: install it as campaign.Config.Remote (or
+// through server.Options.Cluster / dyntreecast.CampaignWithCluster) and
+// every campaign run with that config becomes lease-able by workers. Safe
+// for concurrent use; one Coordinator serves any number of concurrent
+// campaigns.
+type Coordinator struct {
+	ttl  time.Duration
+	logf func(string, ...any)
+	now  func() time.Time // test hook; time.Now outside tests
+
+	mu        sync.Mutex
+	sessions  []*session        // open campaigns, in Open order
+	leases    map[string]*lease // active lease id → lease
+	nextSess  int
+	nextLease int
+	stats     Stats
+}
+
+// lease is one outstanding cell grant. A lease id is present in
+// Coordinator.leases exactly while it is the cell's current, unexpired,
+// un-superseded grant — re-issue and local steal both delete it. A push
+// under a deleted lease is not lost, though: while the cell is still
+// incomplete, HandleResults accepts the result by content address
+// (determinism makes a late result exactly as good as a fresh one), so
+// workers that outlive their leases still contribute.
+type lease struct {
+	sess   *session
+	key    string
+	worker string
+}
+
+// session is the coordinator side of one campaign's RemoteSession.
+type session struct {
+	c       *Coordinator
+	id      int
+	deliver func(key string, trials [][]campaign.Measurement)
+	order   []string // claim order (campaign compile order)
+	cells   map[string]*cellState
+	pending int
+	closed  bool
+	notify  chan struct{} // closed and replaced on every state change
+}
+
+// cellState tracks one cell through the lease lifecycle.
+type cellState struct {
+	job      campaign.CellJob
+	done     bool
+	local    bool // claimed by the campaign's local pool
+	leaseID  string
+	leaseExp time.Time
+}
+
+// New returns a Coordinator ready to accept campaigns and workers.
+func New(opts Options) *Coordinator {
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Coordinator{ttl: ttl, logf: logf, now: time.Now, leases: make(map[string]*lease)}
+}
+
+// Stats returns a snapshot of the coordinator's lifecycle counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Handler returns an http.Handler serving the cluster protocol, for
+// mounting the coordinator outside internal/server (cmd/campaign -join,
+// tests).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/lease", c.HandleLease)
+	mux.HandleFunc("POST /cluster/results", c.HandleResults)
+	return mux
+}
+
+// Open implements campaign.Remote: it registers a campaign's pending
+// cells for leasing and returns the session its local pool coordinates
+// through.
+func (c *Coordinator) Open(jobs []campaign.CellJob, deliver func(key string, trials [][]campaign.Measurement)) campaign.RemoteSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSess++
+	s := &session{
+		c:       c,
+		id:      c.nextSess,
+		deliver: deliver,
+		cells:   make(map[string]*cellState, len(jobs)),
+		pending: len(jobs),
+		notify:  make(chan struct{}),
+	}
+	for _, j := range jobs {
+		if _, dup := s.cells[j.Key]; dup {
+			// Defensive: a scheduler must see each content address once
+			// (campaign's runRemote groups duplicate grid cells before
+			// opening a session); counting a key twice would leave
+			// pending above zero forever.
+			s.pending--
+			continue
+		}
+		s.order = append(s.order, j.Key)
+		s.cells[j.Key] = &cellState{job: j}
+	}
+	c.sessions = append(c.sessions, s)
+	c.logf("cluster: session %d opened: %d cells", s.id, len(jobs))
+	return s
+}
+
+// wake must be called with c.mu held.
+func (s *session) wake() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// dropLease must be called with c.mu held: it invalidates the cell's
+// current lease, if any, so a later push from its holder misses.
+func (c *Coordinator) dropLease(cs *cellState) {
+	if cs.leaseID != "" {
+		delete(c.leases, cs.leaseID)
+		cs.leaseID = ""
+	}
+}
+
+// ClaimLocal implements campaign.RemoteSession. Local workers get cells
+// that are unleased — or whose lease has expired (the local steal that
+// makes a dead worker cost only wall-clock) — in campaign compile order,
+// and block while every pending cell is under an active lease.
+func (s *session) ClaimLocal(ctx context.Context) (campaign.CellJob, bool) {
+	c := s.c
+	for {
+		c.mu.Lock()
+		if s.closed || s.pending == 0 {
+			c.mu.Unlock()
+			return campaign.CellJob{}, false
+		}
+		now := c.now()
+		var nearest time.Time
+		for _, key := range s.order {
+			cs := s.cells[key]
+			if cs.done || cs.local {
+				continue
+			}
+			if cs.leaseID != "" && now.Before(cs.leaseExp) {
+				if nearest.IsZero() || cs.leaseExp.Before(nearest) {
+					nearest = cs.leaseExp
+				}
+				continue
+			}
+			if cs.leaseID != "" {
+				c.stats.Requeued++
+				c.logf("cluster: session %d: lease on %s expired; local steal", s.id, cs.job.Cell)
+				c.dropLease(cs)
+			}
+			cs.local = true
+			job := cs.job
+			c.mu.Unlock()
+			return job, true
+		}
+		notify := s.notify
+		c.mu.Unlock()
+
+		// Nothing claimable: wait for a state change, the nearest lease
+		// expiry, or cancellation.
+		var expiry <-chan time.Time
+		var timer *time.Timer
+		if !nearest.IsZero() {
+			timer = time.NewTimer(nearest.Sub(now))
+			expiry = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return campaign.CellJob{}, false
+		case <-notify:
+		case <-expiry:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// CompleteLocal implements campaign.RemoteSession.
+func (s *session) CompleteLocal(key string) bool {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := s.cells[key]
+	if !ok || cs.done {
+		return false
+	}
+	cs.done = true
+	c.dropLease(cs)
+	s.pending--
+	s.wake()
+	return true
+}
+
+// Close implements campaign.RemoteSession: the campaign is done (or
+// cancelled); withdraw its cells and invalidate its leases so late
+// remote pushes are dropped.
+func (s *session) Close() {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, cs := range s.cells {
+		c.dropLease(cs)
+	}
+	for i, open := range c.sessions {
+		if open == s {
+			c.sessions = append(c.sessions[:i], c.sessions[i+1:]...)
+			break
+		}
+	}
+	s.wake()
+	c.logf("cluster: session %d closed (%d cells still pending)", s.id, s.pending)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// HandleLease serves POST /cluster/lease: the engine-version handshake,
+// then the oldest claimable cell across open sessions.
+func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decoding lease request: %v", err)})
+		return
+	}
+	if req.Engine != campaign.EngineVersion {
+		c.mu.Lock()
+		c.stats.LeasesRejected++
+		c.mu.Unlock()
+		c.logf("cluster: rejected worker %q: engine %q, coordinator speaks %q", req.Worker, req.Engine, campaign.EngineVersion)
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("engine version mismatch: worker %q speaks %q, coordinator %q — results would not be byte-identical",
+				req.Worker, req.Engine, campaign.EngineVersion),
+		})
+		return
+	}
+
+	c.mu.Lock()
+	now := c.now()
+	for _, s := range c.sessions {
+		for _, key := range s.order {
+			cs := s.cells[key]
+			if cs.done || cs.local {
+				continue
+			}
+			if cs.leaseID != "" && now.Before(cs.leaseExp) {
+				continue
+			}
+			if cs.leaseID != "" {
+				c.stats.Requeued++
+				c.dropLease(cs)
+			}
+			c.nextLease++
+			id := fmt.Sprintf("lease-%d", c.nextLease)
+			cs.leaseID, cs.leaseExp = id, now.Add(c.ttl)
+			c.leases[id] = &lease{sess: s, key: key, worker: req.Worker}
+			c.stats.LeasesGranted++
+			job := cs.job
+			c.mu.Unlock()
+			c.logf("cluster: leased %s to worker %q (%s, ttl %s)", job.Cell, req.Worker, id, c.ttl)
+			writeJSON(w, http.StatusOK, LeaseResponse{LeaseID: id, TTLMilli: c.ttl.Milliseconds(), Job: job})
+			return
+		}
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// HandleResults serves POST /cluster/results. A push under the cell's
+// current lease must echo the leased content address; a push whose lease
+// expired or was superseded is still accepted — matched by content
+// address — as long as the cell is incomplete, because a late result of
+// a pure function equals a fresh one (pushes for completed cells are
+// acknowledged and dropped, equally losslessly). Either way the payload
+// must carry exactly the cell's trial count with uniformly labeled
+// measurements; a worker-reported error or an invalid payload re-queues
+// the cell for the local pool or another worker.
+func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
+	var push ResultPush
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&push); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("decoding result push: %v", err)})
+		return
+	}
+	// The per-measurement label scan runs before taking the coordinator
+	// lock (payloads reach 64MB; the lock serializes every lease grant
+	// and local claim): verify the labels are uniform here, compare the
+	// single label against the leased cell under the lock.
+	label, uniform := measurementLabel(push.Trials)
+	c.mu.Lock()
+	var s *session
+	var cs *cellState
+	if l, ok := c.leases[push.LeaseID]; ok {
+		delete(c.leases, push.LeaseID)
+		s, cs = l.sess, l.sess.cells[l.key]
+		cs.leaseID = ""
+		if push.Key != l.key {
+			c.stats.Requeued++
+			s.wake()
+			c.mu.Unlock()
+			c.logf("cluster: re-queued %s from worker %q: content address mismatch (pushed %.12s)", cs.job.Cell, push.Worker, push.Key)
+			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "content address mismatch"})
+			return
+		}
+	} else {
+		// The lease expired or was superseded — but a cell is a pure
+		// function of its content address, so a late result for a cell
+		// nobody has finished yet is exactly as good as a fresh one.
+		// Accepting it means a worker that outlives its lease (no renewal
+		// protocol) still contributes, and the concurrently stealing
+		// local pool just discards its own duplicate at CompleteLocal.
+		s, cs = c.cellByKey(push.Key)
+		if cs == nil || cs.done {
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "unknown lease and no pending cell with that address"})
+			return
+		}
+	}
+	requeue := func(reason string) {
+		c.stats.Requeued++
+		s.wake()
+		c.mu.Unlock()
+		c.logf("cluster: re-queued %s from worker %q: %s", cs.job.Cell, push.Worker, reason)
+		writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: reason})
+	}
+	switch {
+	case push.Error != "":
+		requeue(fmt.Sprintf("worker error: %s", push.Error))
+		return
+	case len(push.Trials) != cs.job.Trials:
+		requeue(fmt.Sprintf("trial count mismatch: pushed %d, want %d", len(push.Trials), cs.job.Trials))
+		return
+	case !uniform || (label != "" && label != cs.job.Cell):
+		requeue(fmt.Sprintf("measurement cell mismatch: trials not labeled %q", cs.job.Cell))
+		return
+	}
+	cs.done = true
+	c.dropLease(cs) // a late push may complete a cell re-leased to someone else
+	c.stats.RemoteCells++
+	deliver := s.deliver
+	c.mu.Unlock()
+
+	// Deliver outside the coordinator lock: the campaign splices under
+	// its own mutex and never calls back into the coordinator. At-most-
+	// once is guaranteed by the done flip above; pending is decremented
+	// only after delivery, so the campaign cannot observe "all cells
+	// complete" while this cell's results are still in flight.
+	deliver(push.Key, push.Trials)
+	c.mu.Lock()
+	s.pending--
+	s.wake()
+	c.mu.Unlock()
+	c.logf("cluster: %s completed by worker %q", cs.job.Cell, push.Worker)
+	writeJSON(w, http.StatusOK, ResultAck{Accepted: true})
+}
+
+// cellByKey finds a still-open session's cell by content address. Must
+// be called with c.mu held.
+func (c *Coordinator) cellByKey(key string) (*session, *cellState) {
+	for _, s := range c.sessions {
+		if cs, ok := s.cells[key]; ok {
+			return s, cs
+		}
+	}
+	return nil, nil
+}
+
+// measurementLabel scans a pushed payload and returns its single cell
+// label (or "" when the payload carries no measurements) and whether
+// every measurement agrees on it — a sanity check against sloppy or
+// foreign payloads, not a proof of honest computation (see the trust
+// note in the package comment). Runs lock-free; the caller compares the
+// label against the leased cell under the coordinator lock.
+func measurementLabel(trials [][]campaign.Measurement) (label string, uniform bool) {
+	for _, ms := range trials {
+		for _, m := range ms {
+			if label == "" {
+				label = m.Cell
+			} else if m.Cell != label {
+				return "", false
+			}
+		}
+	}
+	return label, true
+}

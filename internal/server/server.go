@@ -17,6 +17,14 @@
 //	GET  /campaigns/{id}/stream  per-measurement stream: JSONL by default,
 //	                           server-sent events with Accept: text/event-stream
 //
+// With Options.Cluster set, two more endpoints expose the distributed
+// campaign fabric (internal/cluster, DESIGN.md §3e) and every campaign
+// the daemon runs becomes lease-able by remote workers:
+//
+//	POST /cluster/lease        worker engine handshake → one leased cell
+//	POST /cluster/results      per-trial measurements keyed by the cell's
+//	                           content address
+//
 // Every result served is governed by the campaign determinism contract:
 // a campaign's aggregates are a pure function of its spec, so the daemon
 // can checkpoint, resume, and cache across requests without ever changing
@@ -35,6 +43,7 @@ import (
 
 	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/cluster"
 )
 
 // Options configures a Server.
@@ -59,6 +68,12 @@ type Options struct {
 	// from the oldest retained event; memory per campaign stays O(limit)
 	// instead of O(jobs).
 	ReplayLimit int
+	// Cluster, when non-nil, mounts the /cluster/lease and
+	// /cluster/results endpoints on this coordinator and runs every
+	// campaign with it as the remote scheduler: workers joining over HTTP
+	// (campaignd -worker -join) lease whole cells while the local pool
+	// keeps executing, and artifacts stay byte-identical to local runs.
+	Cluster *cluster.Coordinator
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -133,6 +148,10 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
+	if opts.Cluster != nil {
+		mux.HandleFunc("POST /cluster/lease", opts.Cluster.HandleLease)
+		mux.HandleFunc("POST /cluster/results", opts.Cluster.HandleResults)
+	}
 	s.mux = mux
 	return s
 }
@@ -250,6 +269,12 @@ func (s *Server) execute(r *run) {
 		Batch:    s.opts.Batch,
 		Cache:    s.opts.Cache,
 		OnResult: r.onResult,
+	}
+	if s.opts.Cluster != nil {
+		// Guarded assignment: a typed-nil coordinator in the interface
+		// field would switch RunSpec onto the remote path with nothing
+		// behind it.
+		cfg.Remote = s.opts.Cluster
 	}
 	if path := s.checkpointPath(r.spec); path != "" {
 		defer func() {

@@ -17,6 +17,7 @@ import (
 
 	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/cluster"
 )
 
 const specJSON = `{"name":"itest","adversaries":["random-tree","random-path"],"ns":[8,16],"trials":4,"seed":21}`
@@ -497,5 +498,54 @@ func TestSubmitRejectsBadScenario(t *testing.T) {
 	}
 	if !strings.Contains(body.Error, `k-leaves{"k":0}`) {
 		t.Errorf("error does not name the scenario: %s", body.Error)
+	}
+}
+
+// TestServerClusterEndpoints runs a daemon with Options.Cluster: the
+// /cluster endpoints come up on the same mux, an in-process worker joins
+// over HTTP and leases cells, and the campaign's aggregates are
+// identical to a cluster-less daemon's — the byte-identity contract of
+// the distributed fabric, observed through the service layer.
+func TestServerClusterEndpoints(t *testing.T) {
+	plain := httptest.NewServer(New(Options{Workers: 2}))
+	defer plain.Close()
+	idP, _ := submit(t, plain, specJSON)
+	want := waitDone(t, plain, idP)
+
+	coord := cluster.New(cluster.Options{LeaseTTL: time.Minute})
+	clustered := httptest.NewServer(New(Options{Workers: 1, Cluster: coord}))
+	defer clustered.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- cluster.RunWorker(ctx, clustered.URL, cluster.WorkerOptions{
+			ID: "server-itest-worker", Poll: 5 * time.Millisecond,
+		})
+	}()
+	defer func() {
+		cancel()
+		if err := <-workerDone; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+
+	idC, _ := submit(t, clustered, specJSON)
+	got := waitDone(t, clustered, idC)
+	if got.Status != "done" || got.Failed != 0 {
+		t.Fatalf("clustered campaign: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Fatalf("clustered cells differ:\n got %+v\nwant %+v", got.Cells, want.Cells)
+	}
+
+	// A cluster-less daemon must not expose the endpoints at all.
+	resp, err := http.Post(plain.URL+"/cluster/lease", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/cluster/lease on a cluster-less daemon: status %d, want 404", resp.StatusCode)
 	}
 }
