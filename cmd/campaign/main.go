@@ -28,6 +28,12 @@
 // can help few-cell grids spread across more cores). The artifact is
 // byte-identical for every -batch and -workers combination.
 //
+// When stderr is a terminal a live progress line repaints after every
+// completed job — done/total cells and trials, observed trials/sec, and
+// the ETA they imply. -quiet suppresses it; -progress forces it even
+// when stderr is redirected. The line is stderr-only decoration:
+// artifacts are byte-identical with or without it.
+//
 // Interrupting the run (SIGINT/SIGTERM) cancels the pool promptly; the
 // aggregate of the jobs that did finish is still written.
 //
@@ -97,7 +103,8 @@ func run(args []string) error {
 		batch    = fs.Int("batch", 0, "trials per scheduled cell batch (0 = whole cell, 1 = per-trial); output is identical for every value")
 		format   = fs.String("format", "table", "output: table, csv, json, jsonl")
 		outPath  = fs.String("out", "", "write output to this file instead of stdout")
-		progress = fs.Bool("progress", false, "print job progress to stderr")
+		progress = fs.Bool("progress", false, "force the live progress line even when stderr is not a terminal")
+		quiet    = fs.Bool("quiet", false, "suppress the live progress line on stderr")
 		ckptPath = fs.String("checkpoint", "", "checkpoint completed jobs to this file; an existing matching checkpoint is resumed")
 		cacheDir = fs.String("cache", "", "content-addressed cell cache directory; overlapping grids reuse finished cells")
 		joinAddr = fs.String("join", "", "accept cluster workers on this address for the run (campaignd -worker -join)")
@@ -153,20 +160,15 @@ func run(args []string) error {
 	defer stop()
 
 	cfg := campaign.Config{Workers: *workers, Batch: *batch}
-	if *progress {
-		cfg.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d jobs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+	if !*quiet && (*progress || stderrIsTerminal()) {
+		cfg.Progress = progressLine(spec.Trials, time.Now())
 	}
 	if *cacheDir != "" {
 		c, err := cache.NewDir(*cacheDir)
 		if err != nil {
 			return err
 		}
-		cfg.Cache = c
+		cfg.Cache = cache.Instrument("dir", c)
 	}
 	if *joinAddr != "" {
 		coord := cluster.New(cluster.Options{LeaseTTL: *leaseTTL})
@@ -228,6 +230,41 @@ func run(args []string) error {
 		return fmt.Errorf("%d/%d jobs failed (first: %s)", outcome.Failed, outcome.Jobs, outcome.Errors[0])
 	}
 	return runErr
+}
+
+// stderrIsTerminal reports whether stderr is a character device; the
+// live progress line defaults on for humans at a terminal and off when
+// stderr is redirected (a log capture should not fill with \r frames).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressLine returns a Config.Progress callback that repaints one
+// stderr status line per completed job: done/total cells and trials,
+// observed trials/sec, and the ETA those imply. Progress callbacks are
+// serialized by the runner, so no locking is needed, and the line is
+// pure stderr decoration — artifacts are identical with or without it.
+func progressLine(trialsPerCell int, start time.Time) func(done, total int) {
+	if trialsPerCell <= 0 {
+		trialsPerCell = 1
+	}
+	return func(done, total int) {
+		elapsed := time.Since(start).Seconds()
+		var rate float64
+		if elapsed > 0 {
+			rate = float64(done) / elapsed
+		}
+		eta := "--"
+		if rate > 0 && done < total {
+			eta = (time.Duration(float64(total-done)/rate*1e9) * time.Nanosecond).Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d cells, %d/%d trials, %.0f trials/sec, ETA %s    ",
+			done/trialsPerCell, (total+trialsPerCell-1)/trialsPerCell, done, total, rate, eta)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }
 
 func write(w io.Writer, outcome *campaign.Outcome, format string) error {

@@ -26,6 +26,13 @@
 // Workers joining, dying, or timing out never change artifact bytes —
 // unleased and abandoned cells fall back to the coordinator's local pool
 // (see DESIGN.md §3e).
+//
+// Observability (README.md "Monitoring a fleet"): the daemon serves a
+// Prometheus text scrape on GET /metrics and an embedded live dashboard
+// on GET /. A worker has no server of its own, so -metrics ADDR brings
+// up a scrape-only listener:
+//
+//	campaignd -worker -join http://coordinator:8080 -metrics :9091
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +51,7 @@ import (
 
 	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/cluster"
+	"dyntreecast/internal/metrics"
 	"dyntreecast/internal/server"
 )
 
@@ -67,6 +76,7 @@ type options struct {
 	worker        bool
 	join          string
 	poll          time.Duration
+	metricsAddr   string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -83,6 +93,7 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.worker, "worker", false, "run as a cluster worker instead of serving (requires -join)")
 	fs.StringVar(&o.join, "join", "", "coordinator base URL a -worker pulls cell leases from")
 	fs.DurationVar(&o.poll, "poll", 500*time.Millisecond, "worker idle poll interval (with -worker)")
+	fs.StringVar(&o.metricsAddr, "metrics", "", "serve GET /metrics on this extra address (the daemon already serves /metrics on -addr; this is how a -worker, which has no server, exposes its scrape)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -106,7 +117,7 @@ func parseFlags(args []string) (options, error) {
 		// A worker is only a lease executor: silently dropping daemon
 		// flags (cache, checkpoints, serving) would let a user believe
 		// they are active.
-		workerFlags := map[string]bool{"worker": true, "join": true, "poll": true}
+		workerFlags := map[string]bool{"worker": true, "join": true, "poll": true, "metrics": true}
 		var stray []string
 		fs.Visit(func(f *flag.Flag) {
 			if !workerFlags[f.Name] {
@@ -137,9 +148,27 @@ func build(o options, logf func(string, ...any)) (*server.Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts.Cache = c
+		opts.Cache = cache.Instrument("dir", c)
 	}
 	return server.New(opts), nil
+}
+
+// serveMetrics starts the auxiliary /metrics listener (-metrics). The
+// daemon already exposes /metrics on its main mux; this extra listener
+// exists for worker mode — a worker runs no HTTP server, and its local
+// counters (jobs executed, batch sizes) are invisible without one — and
+// for fleets that firewall the scrape port away from the service port.
+func serveMetrics(addr string, logf func(string, ...any)) (shutdown func(context.Context), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Default.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	logf("metrics on http://%s/metrics", ln.Addr())
+	return func(ctx context.Context) { srv.Shutdown(ctx) }, nil
 }
 
 func run(args []string) error {
@@ -148,6 +177,17 @@ func run(args []string) error {
 		return err
 	}
 	logger := log.New(os.Stderr, "campaignd: ", log.LstdFlags)
+	if o.metricsAddr != "" {
+		stopMetrics, err := serveMetrics(o.metricsAddr, logger.Printf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			stopMetrics(ctx)
+		}()
+	}
 	if o.worker {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()

@@ -1,0 +1,63 @@
+package cache
+
+import "dyntreecast/internal/metrics"
+
+// Cache instruments (DESIGN.md §3f), labeled by backend so a daemon
+// running a dir cache next to a test's memory cache exposes separate
+// series. The decorator pattern keeps the backends themselves oblivious:
+// Instrument wraps any Cache, and an unwrapped cache costs literally
+// nothing.
+var (
+	mRequests = metrics.Default.CounterVec("campaign_cache_requests_total",
+		"Cell-cache lookups by backend and result (hit or miss).", "backend", "result")
+	mPuts = metrics.Default.CounterVec("campaign_cache_puts_total",
+		"Cell-cache stores by backend.", "backend")
+	mErrors = metrics.Default.CounterVec("campaign_cache_errors_total",
+		"Cell-cache backend failures (Get or Put) by backend.", "backend")
+)
+
+// counting is the instrumented decorator around a Cache.
+type counting struct {
+	inner                    Cache
+	hits, misses, puts, errs *metrics.Counter
+}
+
+// Instrument wraps c so every Get is counted as a hit or miss and every
+// Put as a store, under the given backend label ("dir", "memory", …).
+// Purely observational: bytes in and out are untouched, and errors pass
+// through after being counted, so a wrapped cache is indistinguishable
+// to the campaign layer — artifacts cannot change.
+func Instrument(backend string, c Cache) Cache {
+	return &counting{
+		inner:  c,
+		hits:   mRequests.With(backend, "hit"),
+		misses: mRequests.With(backend, "miss"),
+		puts:   mPuts.With(backend),
+		errs:   mErrors.With(backend),
+	}
+}
+
+// Get counts the lookup and delegates.
+func (c *counting) Get(key string) ([]byte, bool, error) {
+	data, ok, err := c.inner.Get(key)
+	switch {
+	case err != nil:
+		c.errs.Inc()
+	case ok:
+		c.hits.Inc()
+	default:
+		c.misses.Inc()
+	}
+	return data, ok, err
+}
+
+// Put counts the store and delegates.
+func (c *counting) Put(key string, data []byte) error {
+	err := c.inner.Put(key, data)
+	if err != nil {
+		c.errs.Inc()
+	} else {
+		c.puts.Inc()
+	}
+	return err
+}

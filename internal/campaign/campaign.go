@@ -252,6 +252,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) ([]JobResult, error) {
 					}
 					ms, err := execJob(ctx, jobs[idx], arena, cfg.NoReuse)
 					results[idx] = JobResult{Index: idx, Measurements: ms, Err: err}
+					countJob(err)
 					if cfg.Progress != nil || cfg.OnResult != nil {
 						mu.Lock()
 						if cfg.OnResult != nil {
@@ -279,6 +280,7 @@ feed:
 		if !pending {
 			continue // fully reused from cfg.Completed; nothing to execute
 		}
+		mBatchTrials.Observe(float64(b.hi - b.lo))
 		select {
 		case batchCh <- b:
 		case <-ctx.Done():

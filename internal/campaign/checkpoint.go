@@ -217,6 +217,9 @@ func (cw *CheckpointWriter) Record(r JobResult) {
 		return
 	}
 	cw.err = cw.writeLine(checkpointRecord{Index: r.Index, Measurements: r.Measurements})
+	if cw.err == nil {
+		mCheckpointRecords.Inc()
+	}
 }
 
 // Err returns the first write error, if any.

@@ -207,6 +207,7 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 		}
 		for _, r := range rs {
 			results[r.Index] = r
+			countJob(r.Err)
 			if cfg.OnResult != nil {
 				cfg.OnResult(r)
 			}
@@ -277,6 +278,7 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 				// trial after trial through the job closures — for every
 				// plan sharing the claimed content address.
 				arena.Runner.MaxRounds = 0
+				mBatchTrials.Observe(float64(job.Trials))
 				rc := work[job.Key]
 				var rs []JobResult
 				cancelled := false

@@ -437,6 +437,9 @@ func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	mRunsStarted.Inc()
+	mRunsActive.Inc()
+	defer mRunsActive.Dec()
 	// Copy so the cache pass below can add entries without mutating the
 	// caller's map. Run is the single splice point: it ignores
 	// out-of-range indexes, so only in-range entries count as reused.

@@ -114,6 +114,7 @@ type Coordinator struct {
 	mu        sync.Mutex
 	sessions  []*session        // open campaigns, in Open order
 	leases    map[string]*lease // active lease id → lease
+	workers   map[string]*workerState
 	nextSess  int
 	nextLease int
 	stats     Stats
@@ -163,7 +164,8 @@ func New(opts Options) *Coordinator {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Coordinator{ttl: ttl, logf: logf, now: time.Now, leases: make(map[string]*lease)}
+	return &Coordinator{ttl: ttl, logf: logf, now: time.Now,
+		leases: make(map[string]*lease), workers: make(map[string]*workerState)}
 }
 
 // Stats returns a snapshot of the coordinator's lifecycle counters.
@@ -180,6 +182,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cluster/lease", c.HandleLease)
 	mux.HandleFunc("POST /cluster/results", c.HandleResults)
+	mux.HandleFunc("GET /cluster/workers", c.HandleWorkers)
 	return mux
 }
 
@@ -211,6 +214,7 @@ func (c *Coordinator) Open(jobs []campaign.CellJob, deliver func(key string, tri
 		s.cells[j.Key] = &cellState{job: j}
 	}
 	c.sessions = append(c.sessions, s)
+	cmSessions.Inc()
 	c.logf("cluster: session %d opened: %d cells", s.id, len(jobs))
 	return s
 }
@@ -257,6 +261,7 @@ func (s *session) ClaimLocal(ctx context.Context) (campaign.CellJob, bool) {
 			}
 			if cs.leaseID != "" {
 				c.stats.Requeued++
+				cmRequeued.With("steal").Inc()
 				c.logf("cluster: session %d: lease on %s expired; local steal", s.id, cs.job.Cell)
 				c.dropLease(cs)
 			}
@@ -324,6 +329,7 @@ func (s *session) Close() {
 	for i, open := range c.sessions {
 		if open == s {
 			c.sessions = append(c.sessions[:i], c.sessions[i+1:]...)
+			cmSessions.Dec()
 			break
 		}
 	}
@@ -348,7 +354,9 @@ func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 	if req.Engine != campaign.EngineVersion {
 		c.mu.Lock()
 		c.stats.LeasesRejected++
+		c.seen(req.Worker, req.Engine).rejected = true
 		c.mu.Unlock()
+		cmLeasesRejected.Inc()
 		c.logf("cluster: rejected worker %q: engine %q, coordinator speaks %q", req.Worker, req.Engine, campaign.EngineVersion)
 		writeJSON(w, http.StatusConflict, map[string]string{
 			"error": fmt.Sprintf("engine version mismatch: worker %q speaks %q, coordinator %q — results would not be byte-identical",
@@ -358,6 +366,7 @@ func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 	}
 
 	c.mu.Lock()
+	ws := c.seen(req.Worker, req.Engine)
 	now := c.now()
 	for _, s := range c.sessions {
 		for _, key := range s.order {
@@ -370,6 +379,7 @@ func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 			}
 			if cs.leaseID != "" {
 				c.stats.Requeued++
+				cmRequeued.With("expired").Inc()
 				c.dropLease(cs)
 			}
 			c.nextLease++
@@ -377,8 +387,10 @@ func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 			cs.leaseID, cs.leaseExp = id, now.Add(c.ttl)
 			c.leases[id] = &lease{sess: s, key: key, worker: req.Worker}
 			c.stats.LeasesGranted++
+			ws.leasesGranted++
 			job := cs.job
 			c.mu.Unlock()
+			cmLeasesGranted.Inc()
 			c.logf("cluster: leased %s to worker %q (%s, ttl %s)", job.Cell, req.Worker, id, c.ttl)
 			writeJSON(w, http.StatusOK, LeaseResponse{LeaseID: id, TTLMilli: c.ttl.Milliseconds(), Job: job})
 			return
@@ -409,6 +421,7 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 	// single label against the leased cell under the lock.
 	label, uniform := measurementLabel(push.Trials)
 	c.mu.Lock()
+	ws := c.seen(push.Worker, "")
 	var s *session
 	var cs *cellState
 	if l, ok := c.leases[push.LeaseID]; ok {
@@ -417,8 +430,11 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 		cs.leaseID = ""
 		if push.Key != l.key {
 			c.stats.Requeued++
+			ws.pushesRejected++
 			s.wake()
 			c.mu.Unlock()
+			cmRequeued.With("invalid").Inc()
+			cmPushes.With("false").Inc()
 			c.logf("cluster: re-queued %s from worker %q: content address mismatch (pushed %.12s)", cs.job.Cell, push.Worker, push.Key)
 			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "content address mismatch"})
 			return
@@ -432,34 +448,44 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 		// local pool just discards its own duplicate at CompleteLocal.
 		s, cs = c.cellByKey(push.Key)
 		if cs == nil || cs.done {
+			ws.pushesRejected++
 			c.mu.Unlock()
+			cmPushes.With("false").Inc()
 			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "unknown lease and no pending cell with that address"})
 			return
 		}
 	}
-	requeue := func(reason string) {
+	requeue := func(metricReason, reason string) {
 		c.stats.Requeued++
+		ws.pushesRejected++
 		s.wake()
 		c.mu.Unlock()
+		cmRequeued.With(metricReason).Inc()
+		cmPushes.With("false").Inc()
 		c.logf("cluster: re-queued %s from worker %q: %s", cs.job.Cell, push.Worker, reason)
 		writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: reason})
 	}
 	switch {
 	case push.Error != "":
-		requeue(fmt.Sprintf("worker error: %s", push.Error))
+		requeue("error", fmt.Sprintf("worker error: %s", push.Error))
 		return
 	case len(push.Trials) != cs.job.Trials:
-		requeue(fmt.Sprintf("trial count mismatch: pushed %d, want %d", len(push.Trials), cs.job.Trials))
+		requeue("invalid", fmt.Sprintf("trial count mismatch: pushed %d, want %d", len(push.Trials), cs.job.Trials))
 		return
 	case !uniform || (label != "" && label != cs.job.Cell):
-		requeue(fmt.Sprintf("measurement cell mismatch: trials not labeled %q", cs.job.Cell))
+		requeue("invalid", fmt.Sprintf("measurement cell mismatch: trials not labeled %q", cs.job.Cell))
 		return
 	}
 	cs.done = true
 	c.dropLease(cs) // a late push may complete a cell re-leased to someone else
 	c.stats.RemoteCells++
+	ws.pushesAccepted++
+	ws.lastPush = c.now()
 	deliver := s.deliver
 	c.mu.Unlock()
+	cmPushes.With("true").Inc()
+	cmRemoteCells.Inc()
+	cmWorkerLastPush.With(workerName(push.Worker)).Set(float64(c.now().UnixMilli()) / 1000)
 
 	// Deliver outside the coordinator lock: the campaign splices under
 	// its own mutex and never calls back into the coordinator. At-most-

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"dyntreecast/internal/metrics"
+)
+
+// Cluster-fabric instruments (DESIGN.md §3f). Lease lifecycle counters
+// mirror the Stats struct; the per-worker series are what make a fleet
+// diagnosable from one scrape — which worker stopped pushing, which one
+// speaks a stale engine — and back both the /metrics exposition and the
+// GET /cluster/workers debug endpoint.
+var (
+	cmLeasesGranted = metrics.Default.Counter("cluster_leases_granted_total",
+		"Cell leases handed to remote workers.")
+	cmLeasesRejected = metrics.Default.Counter("cluster_leases_rejected_total",
+		"Lease requests rejected by the engine-version handshake (HTTP 409).")
+	cmRequeued = metrics.Default.CounterVec("cluster_leases_requeued_total",
+		"Leases whose cell went back to the pool, by reason: expired (re-issued to another worker), steal (local pool took an expired lease), error (worker-reported failure), invalid (push failed validation).",
+		"reason")
+	cmPushes = metrics.Default.CounterVec("cluster_result_pushes_total",
+		"Result pushes by acceptance (accepted=\"true\" completed the cell; =\"false\" was stale, duplicate, or re-queued).",
+		"accepted")
+	cmRemoteCells = metrics.Default.Counter("cluster_remote_cells_total",
+		"Cells completed by remote workers.")
+	cmSessions = metrics.Default.Gauge("cluster_sessions_active",
+		"Campaigns currently open for cell leasing.")
+	cmWorkerLastPush = metrics.Default.GaugeVec("cluster_worker_last_push_seconds",
+		"Unix time of each worker's last result push.", "worker")
+	cmWorkerInfo = metrics.Default.GaugeVec("cluster_worker_info",
+		"Constant 1 per known worker, carrying its engine version as a label.",
+		"worker", "engine")
+)
+
+// workerState is the coordinator's book on one worker identity, fed by
+// every lease request and result push and served by HandleWorkers.
+type workerState struct {
+	engine         string
+	lastSeen       time.Time
+	lastPush       time.Time
+	leasesGranted  int
+	pushesAccepted int
+	pushesRejected int
+	rejected       bool // failed the engine-version handshake
+}
+
+// WorkerInfo is one row of GET /cluster/workers: everything the
+// coordinator knows about a worker identity, for dead-worker diagnosis
+// without log archaeology.
+type WorkerInfo struct {
+	Worker          string    `json:"worker"`
+	Engine          string    `json:"engine"`
+	LastSeen        time.Time `json:"last_seen"`
+	LastPush        time.Time `json:"last_push,omitzero"`
+	LeasesGranted   int       `json:"leases_granted"`
+	LeasesActive    int       `json:"leases_active"`
+	PushesAccepted  int       `json:"pushes_accepted"`
+	PushesRejected  int       `json:"pushes_rejected"`
+	VersionRejected bool      `json:"version_rejected,omitempty"`
+}
+
+// workerName normalizes a self-chosen worker identity for bookkeeping:
+// an empty name still gets a row.
+func workerName(worker string) string {
+	if worker == "" {
+		return "(anonymous)"
+	}
+	return worker
+}
+
+// seen updates the worker book for one contact. Must be called with
+// c.mu held.
+func (c *Coordinator) seen(worker, engine string) *workerState {
+	worker = workerName(worker)
+	ws := c.workers[worker]
+	if ws == nil {
+		ws = &workerState{}
+		c.workers[worker] = ws
+	}
+	ws.lastSeen = c.now()
+	if engine != "" && engine != ws.engine {
+		if ws.engine != "" {
+			// The worker restarted onto a different engine build: retire
+			// the old info series so the scrape shows one engine per worker.
+			cmWorkerInfo.With(worker, ws.engine).Set(0)
+		}
+		ws.engine = engine
+		cmWorkerInfo.With(worker, engine).Set(1)
+	}
+	return ws
+}
+
+// Workers returns a snapshot of every worker identity the coordinator has
+// heard from, sorted by name.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	active := make(map[string]int, len(c.leases))
+	for _, l := range c.leases {
+		active[workerName(l.worker)]++
+	}
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for name, ws := range c.workers {
+		out = append(out, WorkerInfo{
+			Worker:          name,
+			Engine:          ws.engine,
+			LastSeen:        ws.lastSeen,
+			LastPush:        ws.lastPush,
+			LeasesGranted:   ws.leasesGranted,
+			LeasesActive:    active[name],
+			PushesAccepted:  ws.pushesAccepted,
+			PushesRejected:  ws.pushesRejected,
+			VersionRejected: ws.rejected,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// HandleWorkers serves GET /cluster/workers: the per-worker lease and
+// health book as JSON. Like the rest of the cluster protocol it carries
+// no authentication — it exposes worker identities and timing, nothing
+// else.
+func (c *Coordinator) HandleWorkers(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.Workers())
+}

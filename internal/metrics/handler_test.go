@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerServesExposition: the registry's http.Handler answers with
+// the exposition content type and a body that passes the package's own
+// linter.
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_test_total", "A counter.").Add(3)
+	r.HistogramVec("handler_test_seconds", "A histogram.",
+		ExpBuckets(0.01, 10, 3), "op").With("read").Observe(0.05)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if err := Lint(resp.Body); err != nil {
+		t.Errorf("handler body failed lint: %v", err)
+	}
+}
+
+// TestHistogramVecChildren: each label assignment gets its own buckets,
+// sum, and count, and the le="+Inf" bucket equals the child's count.
+func TestHistogramVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("hv_test_seconds", "Latency.", []float64{1, 10}, "op")
+	v.With("read").Observe(0.5)
+	v.With("read").Observe(5)
+	v.With("write").Observe(50)
+
+	if got := v.With("read").Count(); got != 2 {
+		t.Errorf("read count = %d, want 2", got)
+	}
+	if got := v.With("read").Sum(); got != 5.5 {
+		t.Errorf("read sum = %v, want 5.5", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`hv_test_seconds_bucket{op="read",le="1"} 1`,
+		`hv_test_seconds_bucket{op="read",le="10"} 2`,
+		`hv_test_seconds_bucket{op="read",le="+Inf"} 2`,
+		`hv_test_seconds_bucket{op="write",le="10"} 0`,
+		`hv_test_seconds_bucket{op="write",le="+Inf"} 1`,
+		`hv_test_seconds_count{op="write"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("lint: %v", err)
+	}
+}
+
+// TestFormatFloat pins the special-value spellings the exposition format
+// requires; everything else is Go's shortest round-trip form.
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+		{0, "0"},
+		{42, "42"},
+		{0.25, "0.25"},
+		{1e21, "1e+21"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestDefaultRegistryProcessGauges: the process-global registry carries
+// the go_goroutines gauge from init, live at scrape time.
+func TestDefaultRegistryProcessGauges(t *testing.T) {
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE go_goroutines gauge") {
+		t.Fatalf("Default registry missing go_goroutines:\n%.400s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "go_goroutines "); ok {
+			if rest == "0" {
+				t.Errorf("go_goroutines = 0, want > 0")
+			}
+			return
+		}
+	}
+	t.Error("no go_goroutines sample line")
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-exposition stream (format 0.0.4) and
+// returns the first violation found, or nil. It is the referee behind the
+// exposition-format tests and scripts/promcheck (which CI's cluster smoke
+// runs against live /metrics output): metric and label names must be
+// legal, label values must be properly quoted and escaped, sample values
+// must parse, every sample must belong to a # TYPE-declared family of a
+// known kind, histogram families must expose _bucket/_sum/_count series
+// with an le label on the buckets, and HELP/TYPE lines must not repeat.
+//
+// Lint checks the format, not the semantics: it does not verify that
+// counters are monotone across scrapes or that bucket counts are
+// cumulative — those are properties of a sequence of scrapes, not of one
+// body.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	typed := map[string]string{} // family name → kind
+	helped := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("metrics: line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validName(name) {
+				return fail("invalid metric name in %s", fields[1])
+			}
+			switch fields[1] {
+			case "HELP":
+				if helped[name] {
+					return fail("repeated HELP for %s", name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if len(fields) != 4 {
+					return fail("TYPE line needs a kind")
+				}
+				k := fields[3]
+				switch k {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown TYPE %q", k)
+				}
+				if _, dup := typed[name]; dup {
+					return fail("repeated TYPE for %s", name)
+				}
+				typed[name] = k
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("metrics: line %d: %w: %q", lineNo, err, line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fail("unparsable sample value %q", value)
+		}
+		fam, k := sampleFamily(name, typed)
+		if k == "" {
+			return fail("sample for undeclared family %s (no preceding # TYPE)", name)
+		}
+		if k == "histogram" && name == fam+"_bucket" {
+			if _, ok := labels["le"]; !ok {
+				return fail("histogram bucket without le label")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("metrics: reading exposition: %w", err)
+	}
+	return nil
+}
+
+// sampleFamily resolves which declared family a sample line belongs to,
+// honoring the histogram/summary suffixed series.
+func sampleFamily(name string, typed map[string]string) (string, string) {
+	if k, ok := typed[name]; ok {
+		return name, k
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if k, ok := typed[base]; ok && (k == "histogram" || k == "summary") {
+			return base, k
+		}
+	}
+	return "", ""
+}
+
+// parseSample splits one sample line into name, labels, and value,
+// validating name/label syntax and escaping.
+func parseSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	i := 0
+	for i < len(line) && isNameRune(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name")
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ',' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j == len(line) {
+				return "", nil, "", fmt.Errorf("unterminated label")
+			}
+			lname := line[i:j]
+			if !validName(lname) || strings.Contains(lname, ":") {
+				return "", nil, "", fmt.Errorf("invalid label name %q", lname)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return "", nil, "", fmt.Errorf("label value not quoted")
+			}
+			j += 2
+			var val strings.Builder
+			closed := false
+			for j < len(line) {
+				c := line[j]
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", nil, "", fmt.Errorf("dangling escape in label value")
+					}
+					switch line[j+1] {
+					case '\\', '"':
+						val.WriteByte(line[j+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, "", fmt.Errorf("invalid escape \\%c in label value", line[j+1])
+					}
+					j += 2
+					continue
+				}
+				if c == '"' {
+					closed = true
+					j++
+					break
+				}
+				val.WriteByte(c)
+				j++
+			}
+			if !closed {
+				return "", nil, "", fmt.Errorf("unterminated label value")
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, "", fmt.Errorf("duplicate label %q", lname)
+			}
+			labels[lname] = val.String()
+			i = j
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", nil, "", fmt.Errorf("missing sample value")
+	}
+	// A timestamp may follow the value; both are space-separated.
+	value = strings.Fields(rest)[0]
+	return name, labels, value, nil
+}
+
+// isNameRune reports whether c may appear in a metric name at the given
+// position.
+func isNameRune(c byte, first bool) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(!first && c >= '0' && c <= '9')
+}

@@ -1,0 +1,444 @@
+// Package metrics is the fleet-observability substrate (DESIGN.md §3f):
+// typed Counter/Gauge/Histogram instruments behind a registry that writes
+// Prometheus text exposition (version 0.0.4), with zero dependencies
+// beyond the standard library — matching the repo's no-external-deps
+// go.mod.
+//
+// Instruments are lock-free atomics, so the campaign trial hot path can
+// be counted without ever taking a lock or allocating: an increment is
+// one atomic add (BenchmarkTrialHotPath stays 0 allocs/op with
+// instrumentation live). The registry lock is touched only when an
+// instrument is created or the registry is scraped — never on the
+// increment path — and metrics never feed back into results: artifacts
+// remain byte-identical with or without observation (the campaign
+// determinism contract is untouched).
+//
+// The package-level Default registry is what the instrumented layers
+// (internal/campaign, internal/campaign/cache, internal/cluster,
+// internal/server) register into and what campaignd exposes on
+// GET /metrics. Lint (lint.go) validates exposition output and backs the
+// format-validator test plus scripts/promcheck.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use and never allocate.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (which must be non-negative; counters only go up).
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and never allocate.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge (negative deltas subtract).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets plus a sum, the
+// Prometheus histogram shape. Observe is lock-free: a binary search over
+// the immutable bounds, two atomic adds, and a CAS loop for the sum.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf bucket is implicit
+	counts []atomic.Uint64
+	sum    Gauge // reused for its atomic float add
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v; len(bounds) is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// ExpBuckets returns n upper bounds growing geometrically from start by
+// factor — the usual shape for durations and sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// kind is the exposition TYPE of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// child is one labeled instrument of a family.
+type child struct {
+	labels []string // values, parallel to family.labelNames
+	c      *Counter
+	g      *Gauge
+	fn     func() float64 // scrape-time gauge
+	h      *Histogram
+}
+
+// family is one named metric with its help text and labeled children.
+type family struct {
+	name       string
+	help       string
+	kind       kind
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu       sync.Mutex
+	children []*child          // insertion order, for stable exposition
+	byKey    map[string]*child // joined label values → child
+}
+
+// Registry holds metric families and writes them as Prometheus text
+// exposition. Instrument lookups are get-or-create and idempotent, so
+// layers can declare their instruments at init (or lazily) without
+// coordination; a name reused with a different kind or label set panics —
+// that is a programming error, not runtime input.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Default is the process-wide registry: the instrumented layers register
+// into it and campaignd serves it on GET /metrics.
+var Default = NewRegistry()
+
+func init() {
+	// Process-level basics, cheap and scrape-time only.
+	Default.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}
+
+func (r *Registry) family(name, help string, k kind, labelNames []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("metrics: %s redeclared as %s with labels %v (was %s %v)",
+				name, k, labelNames, f.kind, f.labelNames))
+		}
+		for i := range labelNames {
+			if f.labelNames[i] != labelNames[i] {
+				panic(fmt.Sprintf("metrics: %s redeclared with labels %v (was %v)", name, labelNames, f.labelNames))
+			}
+		}
+		return f
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) || strings.HasPrefix(l, "__") || strings.Contains(l, ":") {
+			panic(fmt.Sprintf("metrics: invalid label name %q", l))
+		}
+	}
+	f := &family{name: name, help: help, kind: k, labelNames: labelNames, buckets: buckets,
+		byKey: make(map[string]*child)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// get returns the family's child for the given label values, creating it
+// on first use.
+func (f *family) get(values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.byKey[key]; ok {
+		return ch
+	}
+	ch := &child{labels: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		ch.c = &Counter{}
+	case kindGauge:
+		ch.g = &Gauge{}
+	case kindHistogram:
+		ch.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}
+	f.children = append(f.children, ch)
+	f.byKey[key] = ch
+	return ch
+}
+
+// Counter returns the registry's unlabeled counter with this name,
+// creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).get(nil).c
+}
+
+// Gauge returns the registry's unlabeled gauge with this name, creating
+// it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).get(nil).g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Re-registering a name replaces its function, so tests and restarted
+// servers stay idempotent.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	ch := r.family(name, help, kindGauge, nil, nil).get(nil)
+	ch.fn = fn
+}
+
+// Histogram returns the registry's unlabeled histogram with this name,
+// creating it on first use with the given bucket upper bounds (ascending;
+// the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, kindHistogram, nil, buckets).get(nil).h
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with this name, creating
+// it on first use.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// With returns the counter for one label-value assignment, creating it on
+// first use. Hot paths should hold the returned *Counter instead of
+// calling With per event (With takes the family lock).
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).c }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with this name, creating it
+// on first use.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labelNames, nil)}
+}
+
+// With returns the gauge for one label-value assignment, creating it on
+// first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family with this name,
+// creating it on first use with the given buckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for one label-value assignment, creating it
+// on first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
+
+// WritePrometheus writes every family as Prometheus text exposition
+// (content type "text/plain; version=0.0.4"). Families appear in
+// registration order and children in creation order, so consecutive
+// scrapes of a quiet process are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	children := append([]*child(nil), f.children...)
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, ch := range children {
+		b.Reset()
+		switch f.kind {
+		case kindCounter:
+			b.WriteString(f.name)
+			writeLabels(&b, f.labelNames, ch.labels, "")
+			fmt.Fprintf(&b, " %d\n", ch.c.Value())
+		case kindGauge:
+			v := 0.0
+			if ch.fn != nil {
+				v = ch.fn()
+			} else {
+				v = ch.g.Value()
+			}
+			b.WriteString(f.name)
+			writeLabels(&b, f.labelNames, ch.labels, "")
+			fmt.Fprintf(&b, " %s\n", formatFloat(v))
+		case kindHistogram:
+			cum := uint64(0)
+			for i, bound := range f.buckets {
+				cum += ch.h.counts[i].Load()
+				b.WriteString(f.name + "_bucket")
+				writeLabels(&b, f.labelNames, ch.labels, formatFloat(bound))
+				fmt.Fprintf(&b, " %d\n", cum)
+			}
+			b.WriteString(f.name + "_bucket")
+			writeLabels(&b, f.labelNames, ch.labels, "+Inf")
+			fmt.Fprintf(&b, " %d\n", ch.h.Count())
+			b.WriteString(f.name + "_sum")
+			writeLabels(&b, f.labelNames, ch.labels, "")
+			fmt.Fprintf(&b, " %s\n", formatFloat(ch.h.Sum()))
+			b.WriteString(f.name + "_count")
+			writeLabels(&b, f.labelNames, ch.labels, "")
+			fmt.Fprintf(&b, " %d\n", ch.h.Count())
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLabels appends a {name="value",...} block; le, when non-empty, is
+// appended as the histogram bucket bound label.
+func writeLabels(b *strings.Builder, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// Handler returns an http.Handler serving the registry as text
+// exposition — the body behind GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// formatFloat renders a sample value: integral floats without an
+// exponent, everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// validName reports whether s is a legal metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "Depth.")
+	g.Set(3)
+	g.Add(-1.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	// Get-or-create is idempotent: same instrument back.
+	if r.Counter("jobs_total", "Jobs.") != c {
+		t.Fatal("second Counter call returned a different instrument")
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cache_requests_total", "Cache requests.", "backend", "result")
+	v.With("dir", "hit").Add(3)
+	v.With("dir", "miss").Inc()
+	v.With("dir", "hit").Inc()
+	if got := v.With("dir", "hit").Value(); got != 4 {
+		t.Fatalf("hit counter = %d, want 4", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cache_requests_total Cache requests.",
+		"# TYPE cache_requests_total counter",
+		`cache_requests_total{backend="dir",result="hit"} 4`,
+		`cache_requests_total{backend="dir",result="miss"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint rejected histogram exposition: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("weird", "Help with \\ backslash\nand newline.", "path")
+	v.With("a\"b\\c\nd").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP weird Help with \\ backslash\nand newline.`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `weird{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint rejected escaped exposition: %v", err)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("live", "Live.", func() float64 { n++; return n })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "live 42") {
+		t.Fatalf("gauge func not evaluated at scrape:\n%s", b.String())
+	}
+}
+
+func TestRedeclarePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring x_total as gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":        "9lives 1\n",
+		"bad value":       "# TYPE a gauge\na one\n",
+		"undeclared":      "a_total 1\n",
+		"bad escape":      "# TYPE a gauge\na{l=\"\\q\"} 1\n",
+		"unquoted label":  "# TYPE a gauge\na{l=v} 1\n",
+		"unclosed label":  "# TYPE a gauge\na{l=\"v} 1\n",
+		"dup TYPE":        "# TYPE a gauge\n# TYPE a counter\na 1\n",
+		"bucket sans le":  "# TYPE h histogram\nh_bucket 1\n",
+		"duplicate label": "# TYPE a gauge\na{l=\"1\",l=\"2\"} 1\n",
+	}
+	for name, body := range cases {
+		if err := Lint(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, body)
+		}
+	}
+	if err := Lint(strings.NewReader("# TYPE a gauge\na{l=\"v\"} 1 1700000000\n")); err != nil {
+		t.Errorf("lint rejected sample with timestamp: %v", err)
+	}
+}
+
+// TestConcurrentScrapeRace hammers every instrument kind from N
+// goroutines while other goroutines scrape, under -race in CI: the
+// increment paths are atomics and the scrape path copies under the
+// registry and family locks, so no write is ever observed torn.
+func TestConcurrentScrapeRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", ExpBuckets(1, 2, 8))
+	v := r.CounterVec("v_total", "V.", "who")
+	var writers, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < 5000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 300))
+				v.With([]string{"a", "b", "c"}[j%3]).Inc()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := Lint(strings.NewReader(b.String())); err != nil {
+					t.Errorf("mid-run scrape failed lint: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scrapers.Wait()
+	if got := c.Value(); got != 40000 {
+		t.Fatalf("counter = %d, want 40000", got)
+	}
+	if got := h.Count(); got != 40000 {
+		t.Fatalf("histogram count = %d, want 40000", got)
+	}
+	if got := g.Value(); got != 40000 {
+		t.Fatalf("gauge = %v, want 40000", got)
+	}
+}

@@ -1,0 +1,30 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// The dashboard is a single embedded HTML file — vanilla JS over the same
+// endpoints curl uses (/campaigns, /campaigns/{id}/stream as SSE,
+// /cluster/workers, /metrics), so the daemon binary carries its own UI
+// with no assets on disk and no build step.
+//
+//go:embed ui/index.html
+var dashboardHTML []byte
+
+// DashboardHandler serves the embedded fleet dashboard at / and /ui/.
+// It is read-only: every byte it shows comes from GET endpoints the
+// dashboard shares with scripts, so the UI can never perturb a campaign.
+func DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/", "/ui", "/ui/":
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Write(dashboardHTML)
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}

@@ -40,10 +40,12 @@ import (
 	"net/http"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dyntreecast/internal/campaign"
 	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/cluster"
+	"dyntreecast/internal/metrics"
 )
 
 // Options configures a Server.
@@ -117,11 +119,13 @@ type event struct {
 // Final aggregates never depend on the window — they come from the
 // campaign outcome.
 type run struct {
-	id   string
-	spec campaign.Spec
-	jobs int
+	id      string
+	spec    campaign.Spec
+	jobs    int
+	started time.Time
 
 	mu        sync.Mutex
+	finished  time.Time // zero while running
 	events    []event
 	base      int    // absolute index of events[0]
 	limit     int    // replay window size
@@ -148,16 +152,21 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/stream", s.handleStream)
+	mux.Handle("GET /metrics", metrics.Default.Handler())
+	mux.Handle("GET /{$}", DashboardHandler())
+	mux.Handle("GET /ui/", DashboardHandler())
 	if opts.Cluster != nil {
 		mux.HandleFunc("POST /cluster/lease", opts.Cluster.HandleLease)
 		mux.HandleFunc("POST /cluster/results", opts.Cluster.HandleResults)
+		mux.HandleFunc("GET /cluster/workers", opts.Cluster.HandleWorkers)
 	}
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: every route is served through the
+// request counter and latency histogram (metrics.go).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.instrument(w, r) }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -234,11 +243,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	if limit <= 0 {
 		limit = defaultReplayLimit
 	}
-	r := &run{id: id, spec: spec, jobs: len(jobs), limit: limit, status: "running", notify: make(chan struct{})}
+	r := &run{id: id, spec: spec, jobs: len(jobs), started: time.Now(), limit: limit, status: "running", notify: make(chan struct{})}
 	s.campaigns[id] = r
 	s.order = append(s.order, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+	mCampaignsSubmitted.Inc()
 
 	go s.execute(r)
 	s.logf("campaign %s submitted: %d jobs", id, len(jobs))
@@ -334,6 +344,7 @@ func (r *run) wake() {
 func (r *run) finish(outcome *campaign.Outcome, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.finished = time.Now()
 	r.outcome = outcome
 	switch {
 	case err != nil && outcome != nil:
@@ -348,11 +359,32 @@ func (r *run) finish(outcome *campaign.Outcome, err error) {
 	r.wake()
 }
 
+// elapsed returns how long the campaign has run (or ran). Must be called
+// with r.mu held.
+func (r *run) elapsed() time.Duration {
+	if !r.finished.IsZero() {
+		return r.finished.Sub(r.started)
+	}
+	return time.Since(r.started)
+}
+
+// trialsPerSec returns the campaign's observed completion rate. Must be
+// called with r.mu held.
+func (r *run) trialsPerSec(completed int) float64 {
+	secs := r.elapsed().Seconds()
+	if secs <= 0 || completed <= 0 {
+		return 0
+	}
+	return float64(completed) / secs
+}
+
 func (r *run) statusLine() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.outcome != nil {
-		return fmt.Sprintf("%s (%d/%d jobs, %d failed)", r.status, r.outcome.Completed, r.jobs, r.outcome.Failed)
+		return fmt.Sprintf("%s (%d/%d jobs, %d failed, %s, %.1f trials/sec)",
+			r.status, r.outcome.Completed, r.jobs, r.outcome.Failed,
+			r.elapsed().Round(time.Millisecond), r.trialsPerSec(r.outcome.Completed))
 	}
 	return r.status
 }
@@ -364,23 +396,31 @@ func (s *Server) lookup(req *http.Request) (*run, bool) {
 	return r, ok
 }
 
-// statusView is the JSON shape of GET /campaigns/{id}.
+// statusView is the JSON shape of GET /campaigns/{id} (and of the list
+// rows of GET /campaigns). ElapsedMS and TrialsPerSec make the list
+// self-describing — progress and throughput without scraping /metrics;
+// they describe the serving process, never the artifact, which stays
+// byte-identical to an unobserved run.
 type statusView struct {
-	ID        string               `json:"id"`
-	Status    string               `json:"status"`
-	Jobs      int                  `json:"jobs"`
-	Completed int                  `json:"completed"`
-	Failed    int                  `json:"failed"`
-	Error     string               `json:"error,omitempty"`
-	Cells     []campaign.CellStats `json:"cells,omitempty"`
+	ID           string               `json:"id"`
+	Status       string               `json:"status"`
+	Jobs         int                  `json:"jobs"`
+	Completed    int                  `json:"completed"`
+	Failed       int                  `json:"failed"`
+	ElapsedMS    int64                `json:"elapsed_ms"`
+	TrialsPerSec float64              `json:"trials_per_sec"`
+	Error        string               `json:"error,omitempty"`
+	Cells        []campaign.CellStats `json:"cells,omitempty"`
 }
 
 func (r *run) view(withCells bool) statusView {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	v := statusView{ID: r.id, Status: r.status, Jobs: r.jobs, Error: r.errMsg}
+	v.ElapsedMS = r.elapsed().Milliseconds()
 	if r.outcome != nil {
 		v.Completed, v.Failed = r.outcome.Completed, r.outcome.Failed
+		v.TrialsPerSec = roundRate(r.trialsPerSec(v.Completed))
 		if withCells {
 			v.Cells = r.outcome.Cells
 		}
@@ -446,6 +486,8 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	mStreams.Inc()
+	defer mStreams.Dec()
 	sse := req.Header.Get("Accept") == "text/event-stream"
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")

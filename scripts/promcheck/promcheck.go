@@ -1,0 +1,47 @@
+// Command promcheck validates Prometheus text exposition
+// (internal/metrics.Lint) read from stdin or from file arguments. CI's
+// cluster-smoke job pipes live /metrics scrapes from a coordinator and a
+// worker through it, so a malformed exposition — bad escaping, an
+// undeclared family, a histogram without le labels — fails the build
+// instead of failing the first real scraper pointed at a fleet.
+//
+//	curl -s http://localhost:8080/metrics | go run ./scripts/promcheck
+//	go run ./scripts/promcheck scrape-a.txt scrape-b.txt
+//
+// Exits nonzero naming each invalid input.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dyntreecast/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := metrics.Lint(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck: stdin:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			failed = true
+			continue
+		}
+		err = metrics.Lint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
