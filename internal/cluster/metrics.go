@@ -36,6 +36,17 @@ var (
 		"worker", "engine")
 )
 
+// Worker-book bounds. The cluster protocol is unauthenticated, so worker
+// identities are externally-chosen input: without bounds, a peer cycling
+// names would grow coordinator memory and scrape size forever. Entries
+// idle for workerExpiry lease TTLs are forgotten (their metric series
+// retired with them), and past maxWorkers the stalest leaseless entry is
+// evicted to make room.
+const (
+	maxWorkers   = 512
+	workerExpiry = 10 // idle lifetime, in lease TTLs
+)
+
 // workerState is the coordinator's book on one worker identity, fed by
 // every lease request and result push and served by HandleWorkers.
 type workerState struct {
@@ -78,6 +89,7 @@ func (c *Coordinator) seen(worker, engine string) *workerState {
 	worker = workerName(worker)
 	ws := c.workers[worker]
 	if ws == nil {
+		c.sweepWorkers()
 		ws = &workerState{}
 		c.workers[worker] = ws
 	}
@@ -86,7 +98,7 @@ func (c *Coordinator) seen(worker, engine string) *workerState {
 		if ws.engine != "" {
 			// The worker restarted onto a different engine build: retire
 			// the old info series so the scrape shows one engine per worker.
-			cmWorkerInfo.With(worker, ws.engine).Set(0)
+			cmWorkerInfo.Delete(worker, ws.engine)
 		}
 		ws.engine = engine
 		cmWorkerInfo.With(worker, engine).Set(1)
@@ -94,15 +106,63 @@ func (c *Coordinator) seen(worker, engine string) *workerState {
 	return ws
 }
 
+// activeLeases counts each worker's live leases. Must be called with
+// c.mu held.
+func (c *Coordinator) activeLeases() map[string]int {
+	active := make(map[string]int, len(c.leases))
+	for _, l := range c.leases {
+		active[workerName(l.worker)]++
+	}
+	return active
+}
+
+// sweepWorkers bounds the worker book; called with c.mu held whenever a
+// new identity is about to be inserted. Entries idle past the expiry
+// cutoff and holding no live lease are forgotten; if the book still sits
+// at maxWorkers, the stalest leaseless entries are evicted until the new
+// identity fits.
+func (c *Coordinator) sweepWorkers() {
+	active := c.activeLeases()
+	cutoff := c.now().Add(-time.Duration(workerExpiry) * c.ttl)
+	for name, ws := range c.workers {
+		if active[name] == 0 && ws.lastSeen.Before(cutoff) {
+			c.forget(name, ws)
+		}
+	}
+	for len(c.workers) >= maxWorkers {
+		stalest := ""
+		var stalestWS *workerState
+		for name, ws := range c.workers {
+			if active[name] > 0 {
+				continue
+			}
+			if stalestWS == nil || ws.lastSeen.Before(stalestWS.lastSeen) {
+				stalest, stalestWS = name, ws
+			}
+		}
+		if stalestWS == nil {
+			return // every entry holds a live lease; leases bound the book
+		}
+		c.forget(stalest, stalestWS)
+	}
+}
+
+// forget drops one worker from the book and retires its metric series.
+// Must be called with c.mu held.
+func (c *Coordinator) forget(name string, ws *workerState) {
+	delete(c.workers, name)
+	cmWorkerLastPush.Delete(name)
+	if ws.engine != "" {
+		cmWorkerInfo.Delete(name, ws.engine)
+	}
+}
+
 // Workers returns a snapshot of every worker identity the coordinator has
 // heard from, sorted by name.
 func (c *Coordinator) Workers() []WorkerInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	active := make(map[string]int, len(c.leases))
-	for _, l := range c.leases {
-		active[workerName(l.worker)]++
-	}
+	active := c.activeLeases()
 	out := make([]WorkerInfo, 0, len(c.workers))
 	for name, ws := range c.workers {
 		out = append(out, WorkerInfo{

@@ -3,12 +3,59 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"dyntreecast/internal/campaign"
+	"dyntreecast/internal/metrics"
 )
+
+// TestWorkerBookBounds: worker identities arrive over the unauthenticated
+// cluster protocol, so the coordinator's book must stay bounded — an
+// identity idle for workerExpiry lease TTLs is forgotten (its metric
+// series retired with it), and a peer cycling fresh names can never push
+// the book past maxWorkers.
+func TestWorkerBookBounds(t *testing.T) {
+	c := New(Options{LeaseTTL: time.Minute})
+	now := time.Now()
+	c.now = func() time.Time { return now }
+
+	c.mu.Lock()
+	c.seen("idle-worker", "dyntreecast-engine/0")
+	c.mu.Unlock()
+
+	// Advance past the idle cutoff: the next new identity sweeps it out.
+	now = now.Add(workerExpiry*time.Minute + time.Second)
+	c.mu.Lock()
+	c.seen("fresh", "")
+	c.mu.Unlock()
+	if ws := c.Workers(); len(ws) != 1 || ws[0].Worker != "fresh" {
+		t.Fatalf("workers after expiry = %+v, want only fresh", ws)
+	}
+	var b strings.Builder
+	if err := metrics.Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `worker="idle-worker"`) {
+		t.Errorf("expired worker's metric series still exposed:\n%s", b.String())
+	}
+
+	// Name cycling: the book caps at maxWorkers no matter how many
+	// identities one peer invents.
+	c.mu.Lock()
+	for i := 0; i < maxWorkers+100; i++ {
+		c.seen(fmt.Sprintf("cycler-%d", i), "")
+	}
+	n := len(c.workers)
+	c.mu.Unlock()
+	if n > maxWorkers {
+		t.Fatalf("worker book = %d entries, want <= %d", n, maxWorkers)
+	}
+}
 
 // TestWorkersEndpoint: the coordinator's per-worker book is served on
 // GET /cluster/workers — a version-rejected worker shows up flagged, a

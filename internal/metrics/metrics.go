@@ -127,7 +127,7 @@ type child struct {
 	labels []string // values, parallel to family.labelNames
 	c      *Counter
 	g      *Gauge
-	fn     func() float64 // scrape-time gauge
+	fn     atomic.Pointer[func() float64] // scrape-time gauge; atomic so GaugeFunc re-registration never races a scrape
 	h      *Histogram
 }
 
@@ -226,6 +226,31 @@ func (f *family) get(values []string) *child {
 	return ch
 }
 
+// delete removes the family's child for the given label values,
+// reporting whether it existed. It lets per-entity series (one per
+// cluster worker, say) be retired when the entity goes away, so
+// externally-chosen identities can never grow the scrape without bound.
+func (f *family) delete(values []string) bool {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(f.byKey, key)
+	for i, c := range f.children {
+		if c == ch {
+			f.children = append(f.children[:i], f.children[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Counter returns the registry's unlabeled counter with this name,
 // creating it on first use.
 func (r *Registry) Counter(name, help string) *Counter {
@@ -243,7 +268,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // servers stay idempotent.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	ch := r.family(name, help, kindGauge, nil, nil).get(nil)
-	ch.fn = fn
+	ch.fn.Store(&fn)
 }
 
 // Histogram returns the registry's unlabeled histogram with this name,
@@ -279,6 +304,10 @@ func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
 // With returns the gauge for one label-value assignment, creating it on
 // first use.
 func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
+
+// Delete retires the series for one label-value assignment, reporting
+// whether it existed. A later With recreates it from zero.
+func (v *GaugeVec) Delete(labelValues ...string) bool { return v.f.delete(labelValues) }
 
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ f *family }
@@ -330,8 +359,8 @@ func (f *family) write(w io.Writer) error {
 			fmt.Fprintf(&b, " %d\n", ch.c.Value())
 		case kindGauge:
 			v := 0.0
-			if ch.fn != nil {
-				v = ch.fn()
+			if p := ch.fn.Load(); p != nil {
+				v = (*p)()
 			} else {
 				v = ch.g.Value()
 			}
@@ -346,15 +375,20 @@ func (f *family) write(w io.Writer) error {
 				writeLabels(&b, f.labelNames, ch.labels, formatFloat(bound))
 				fmt.Fprintf(&b, " %d\n", cum)
 			}
+			// The +Inf bucket and _count render the same cumulative sum
+			// rather than the separately-maintained total: Observe bumps
+			// counts[i] before total, so a scrape racing it could otherwise
+			// print a finite bucket above +Inf.
+			cum += ch.h.counts[len(f.buckets)].Load()
 			b.WriteString(f.name + "_bucket")
 			writeLabels(&b, f.labelNames, ch.labels, "+Inf")
-			fmt.Fprintf(&b, " %d\n", ch.h.Count())
+			fmt.Fprintf(&b, " %d\n", cum)
 			b.WriteString(f.name + "_sum")
 			writeLabels(&b, f.labelNames, ch.labels, "")
 			fmt.Fprintf(&b, " %s\n", formatFloat(ch.h.Sum()))
 			b.WriteString(f.name + "_count")
 			writeLabels(&b, f.labelNames, ch.labels, "")
-			fmt.Fprintf(&b, " %d\n", ch.h.Count())
+			fmt.Fprintf(&b, " %d\n", cum)
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return err

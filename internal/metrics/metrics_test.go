@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -109,6 +111,34 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+func TestGaugeVecDelete(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("worker_up", "Up.", "worker")
+	v.With("a").Set(1)
+	v.With("b").Set(1)
+	if !v.Delete("a") {
+		t.Fatal("Delete(a) = false, want true")
+	}
+	if v.Delete("a") {
+		t.Fatal("second Delete(a) = true, want false")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `worker_up{worker="a"}`) {
+		t.Errorf("deleted series still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `worker_up{worker="b"} 1`) {
+		t.Errorf("surviving series missing:\n%s", out)
+	}
+	// A later With recreates the series from zero.
+	if got := v.With("a").Value(); got != 0 {
+		t.Fatalf("recreated series = %v, want 0", got)
+	}
+}
+
 func TestGaugeFunc(t *testing.T) {
 	r := NewRegistry()
 	n := 41.0
@@ -166,7 +196,10 @@ func TestLintRejects(t *testing.T) {
 // TestConcurrentScrapeRace hammers every instrument kind from N
 // goroutines while other goroutines scrape, under -race in CI: the
 // increment paths are atomics and the scrape path copies under the
-// registry and family locks, so no write is ever observed torn.
+// registry and family locks, so no write is ever observed torn. Each
+// mid-run scrape body must also be internally consistent: histogram
+// buckets cumulative and non-decreasing with the +Inf bucket equal to
+// _count, even while Observe races the scrape.
 func TestConcurrentScrapeRace(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c_total", "C.")
@@ -187,6 +220,15 @@ func TestConcurrentScrapeRace(t *testing.T) {
 			}
 		}()
 	}
+	// GaugeFunc re-registration is documented as idempotent; racing it
+	// against the scrapers proves the function swap is synchronized.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for j := 0; j < 5000; j++ {
+			r.GaugeFunc("live", "Live.", func() float64 { return float64(j) })
+		}
+	}()
 	for i := 0; i < 4; i++ {
 		scrapers.Add(1)
 		go func() {
@@ -206,12 +248,23 @@ func TestConcurrentScrapeRace(t *testing.T) {
 					t.Errorf("mid-run scrape failed lint: %v", err)
 					return
 				}
+				if err := histogramConsistent(b.String(), "h"); err != nil {
+					t.Errorf("mid-run scrape inconsistent: %v", err)
+					return
+				}
 			}
 		}()
 	}
 	writers.Wait()
 	close(stop)
 	scrapers.Wait()
+	var final strings.Builder
+	if err := r.WritePrometheus(&final); err != nil {
+		t.Fatal(err)
+	}
+	if err := histogramConsistent(final.String(), "h"); err != nil {
+		t.Fatal(err)
+	}
 	if got := c.Value(); got != 40000 {
 		t.Fatalf("counter = %d, want 40000", got)
 	}
@@ -221,4 +274,40 @@ func TestConcurrentScrapeRace(t *testing.T) {
 	if got := g.Value(); got != 40000 {
 		t.Fatalf("gauge = %v, want 40000", got)
 	}
+}
+
+// histogramConsistent checks one scrape body's histogram invariants for
+// the named family: bucket samples non-decreasing in exposition order and
+// the +Inf bucket equal to _count.
+func histogramConsistent(body, fam string) error {
+	sample := func(line string) (uint64, error) {
+		return strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+	}
+	var prev, inf, count uint64
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case strings.HasPrefix(line, fam+"_bucket"):
+			v, err := sample(line)
+			if err != nil {
+				return err
+			}
+			if v < prev {
+				return fmt.Errorf("bucket not cumulative: %q after %d", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, fam+"_count"):
+			v, err := sample(line)
+			if err != nil {
+				return err
+			}
+			count = v
+		}
+	}
+	if inf != count {
+		return fmt.Errorf("+Inf bucket = %d but _count = %d", inf, count)
+	}
+	return nil
 }
