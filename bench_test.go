@@ -335,7 +335,7 @@ func BenchmarkNonsplitGame(b *testing.B) {
 // O(n + rounds·n) (the acceptance bar is a 5× allocs/op reduction; the
 // measured gap is ~3 orders of magnitude, recorded in EXPERIMENTS.md).
 func BenchmarkTrialHotPath(b *testing.B) {
-	for _, n := range []int{64, 256} {
+	for _, n := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprintf("per-trial/n%d", n), func(b *testing.B) {
 			src := rng.New(1)
 			b.ReportAllocs()

@@ -52,9 +52,12 @@
 // cells for the duration of the run, while the local pool keeps working.
 // Workers can join and die freely: unleased and abandoned cells fall back
 // to local execution, and the artifact is byte-identical to a purely
-// local run (see DESIGN.md §3e):
+// local run (see DESIGN.md §3e). -shard-trials N additionally splits each
+// cell into leases of at most N trials, so a grid dominated by one big
+// cell still spreads across the fleet — again without changing a single
+// artifact byte (DESIGN.md §3g):
 //
-//	campaign -spec sweep.json -join :9090 -format json
+//	campaign -spec sweep.json -join :9090 -shard-trials 8 -format json
 package main
 
 import (
@@ -109,16 +112,24 @@ func run(args []string) error {
 		cacheDir = fs.String("cache", "", "content-addressed cell cache directory; overlapping grids reuse finished cells")
 		joinAddr = fs.String("join", "", "accept cluster workers on this address for the run (campaignd -worker -join)")
 		leaseTTL = fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "cell lease lifetime before re-issue (with -join)")
+		shardTr  = fs.Int("shard-trials", 0, "lease cells in shards of at most this many trials, so one big cell spreads across workers (with -join; 0 = whole cells; artifacts are identical for every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *joinAddr == "" {
-		leaseTTLSet := false
-		fs.Visit(func(f *flag.Flag) { leaseTTLSet = leaseTTLSet || f.Name == "lease-ttl" })
-		if leaseTTLSet {
-			return fmt.Errorf("-lease-ttl is only meaningful with -join")
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "lease-ttl" || f.Name == "shard-trials" {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return fmt.Errorf("%s is only meaningful with -join", strings.Join(set, ", "))
 		}
+	}
+	if *shardTr < 0 {
+		return fmt.Errorf("-shard-trials must be >= 0")
 	}
 
 	var spec campaign.Spec
@@ -171,7 +182,7 @@ func run(args []string) error {
 		cfg.Cache = cache.Instrument("dir", c)
 	}
 	if *joinAddr != "" {
-		coord := cluster.New(cluster.Options{LeaseTTL: *leaseTTL})
+		coord := cluster.New(cluster.Options{LeaseTTL: *leaseTTL, ShardTrials: *shardTr})
 		ln, err := net.Listen("tcp", *joinAddr)
 		if err != nil {
 			return fmt.Errorf("-join: %w", err)

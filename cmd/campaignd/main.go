@@ -73,6 +73,7 @@ type options struct {
 	drainTimeout  time.Duration
 	cluster       bool
 	leaseTTL      time.Duration
+	shardTrials   int
 	worker        bool
 	join          string
 	poll          time.Duration
@@ -90,6 +91,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
 	fs.BoolVar(&o.cluster, "cluster", false, "serve /cluster endpoints and let remote workers lease campaign cells")
 	fs.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultLeaseTTL, "cell lease lifetime before re-issue (with -cluster)")
+	fs.IntVar(&o.shardTrials, "shard-trials", 0, "lease cells in shards of at most this many trials, so one big cell spreads across workers (with -cluster; 0 = whole cells; artifacts are identical for every value)")
 	fs.BoolVar(&o.worker, "worker", false, "run as a cluster worker instead of serving (requires -join)")
 	fs.StringVar(&o.join, "join", "", "coordinator base URL a -worker pulls cell leases from")
 	fs.DurationVar(&o.poll, "poll", 500*time.Millisecond, "worker idle poll interval (with -worker)")
@@ -104,11 +106,18 @@ func parseFlags(args []string) (options, error) {
 		return options{}, fmt.Errorf("-worker requires -join <coordinator-url>")
 	}
 	if !o.cluster {
-		leaseTTLSet := false
-		fs.Visit(func(f *flag.Flag) { leaseTTLSet = leaseTTLSet || f.Name == "lease-ttl" })
-		if leaseTTLSet {
-			return options{}, fmt.Errorf("-lease-ttl is only meaningful with -cluster")
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "lease-ttl" || f.Name == "shard-trials" {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return options{}, fmt.Errorf("%s is only meaningful with -cluster", strings.Join(set, ", "))
 		}
+	}
+	if o.shardTrials < 0 {
+		return options{}, fmt.Errorf("-shard-trials must be >= 0")
 	}
 	if !o.worker && o.join != "" {
 		return options{}, fmt.Errorf("-join is only meaningful with -worker")
@@ -136,7 +145,7 @@ func parseFlags(args []string) (options, error) {
 func build(o options, logf func(string, ...any)) (*server.Server, error) {
 	opts := server.Options{Workers: o.workers, Batch: o.batch, CheckpointDir: o.checkpointDir, Logf: logf}
 	if o.cluster {
-		opts.Cluster = cluster.New(cluster.Options{LeaseTTL: o.leaseTTL, Logf: logf})
+		opts.Cluster = cluster.New(cluster.Options{LeaseTTL: o.leaseTTL, ShardTrials: o.shardTrials, Logf: logf})
 	}
 	if o.checkpointDir != "" {
 		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {

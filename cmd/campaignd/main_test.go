@@ -123,3 +123,19 @@ func TestLeaseTTLRequiresCluster(t *testing.T) {
 		t.Errorf("parseFlags(-cluster -lease-ttl): %v", err)
 	}
 }
+
+func TestShardTrialsRequiresCluster(t *testing.T) {
+	if _, err := parseFlags([]string{"-shard-trials", "4"}); err == nil {
+		t.Error("parseFlags(-shard-trials) succeeded without -cluster")
+	}
+	if _, err := parseFlags([]string{"-cluster", "-shard-trials", "-1"}); err == nil {
+		t.Error("parseFlags(-shard-trials -1) succeeded")
+	}
+	o, err := parseFlags([]string{"-cluster", "-shard-trials", "4"})
+	if err != nil {
+		t.Fatalf("parseFlags(-cluster -shard-trials 4): %v", err)
+	}
+	if o.shardTrials != 4 {
+		t.Errorf("shardTrials = %d, want 4", o.shardTrials)
+	}
+}

@@ -426,13 +426,25 @@ func CampaignWithProgress(fn func(done, total int)) CampaignOption {
 type ClusterCoordinator = cluster.Coordinator
 
 // NewClusterCoordinator returns a coordinator with the default lease
-// lifetime. One coordinator serves any number of concurrent campaigns.
+// lifetime that leases whole cells. One coordinator serves any number of
+// concurrent campaigns.
 func NewClusterCoordinator() *ClusterCoordinator { return cluster.New(cluster.Options{}) }
 
+// NewShardedClusterCoordinator returns a coordinator that leases each
+// grid cell in shards of at most shardTrials trials, so a grid dominated
+// by one big cell still spreads across the fleet. Because every trial's
+// random stream is pre-split from the cell's content address, sharding
+// never changes artifact bytes — any shardTrials value (including 0,
+// whole cells) produces the identical outcome. See DESIGN.md §3g.
+func NewShardedClusterCoordinator(shardTrials int) *ClusterCoordinator {
+	return cluster.New(cluster.Options{ShardTrials: shardTrials})
+}
+
 // CampaignWithCluster distributes the campaign's grid cells through c:
-// remote workers lease whole cells over HTTP while the local pool keeps
-// executing, and whichever side finishes a cell first supplies its
-// (byte-identical) results. Unleased and abandoned cells always fall
+// remote workers lease cells — or trial shards of cells, with
+// NewShardedClusterCoordinator — over HTTP while the local pool keeps
+// executing, and whichever side finishes a unit first supplies its
+// (byte-identical) results. Unleased and abandoned units always fall
 // back to local workers, so the campaign completes even if every worker
 // dies. Composes unchanged with CampaignWithCache and
 // CampaignWithCheckpoint — only cells they don't already cover are

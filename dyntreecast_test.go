@@ -509,6 +509,18 @@ func submitAndWait(t *testing.T, ts *httptest.Server, body string) serverStatus 
 // facade: a coordinator served over HTTP, one in-process worker joined
 // with RunClusterWorker, and an outcome identical to a local run.
 func TestCampaignWithCluster(t *testing.T) {
+	clusterFacadeRoundTrip(t, dyntreecast.NewClusterCoordinator())
+}
+
+// TestCampaignWithShardedCluster is the same round trip with cells split
+// into 3-trial lease shards (4 trials per cell, so shards are uneven);
+// the artifact must not move by a byte.
+func TestCampaignWithShardedCluster(t *testing.T) {
+	clusterFacadeRoundTrip(t, dyntreecast.NewShardedClusterCoordinator(3))
+}
+
+func clusterFacadeRoundTrip(t *testing.T, coord *dyntreecast.ClusterCoordinator) {
+	t.Helper()
 	spec := dyntreecast.Campaign{
 		Adversaries: []string{"random-tree", "static-path"},
 		Ns:          []int{8, 12},
@@ -520,7 +532,6 @@ func TestCampaignWithCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	coord := dyntreecast.NewClusterCoordinator()
 	ts := httptest.NewServer(coord.Handler())
 	defer ts.Close()
 	ctx, cancel := context.WithCancel(context.Background())

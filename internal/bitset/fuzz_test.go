@@ -1,0 +1,156 @@
+package bitset
+
+import (
+	"testing"
+)
+
+// FuzzBitsetWords fuzzes the word-kernel layer against a naive per-bit
+// bool-slice model: for an arbitrary capacity n (including the
+// non-multiple-of-64 sizes where the tail word is partially masked) and
+// arbitrary row contents, every kernel must agree with the model, rows
+// must uphold the bits-beyond-n-are-zero invariant through every kernel,
+// and Transpose64 must match the per-bit transpose and invert itself. The
+// packed engines trust these kernels blindly on their hot paths; this is
+// the harness that earns that trust on inputs no hand-written table
+// covers.
+func FuzzBitsetWords(f *testing.F) {
+	f.Add(uint16(1), []byte{})
+	f.Add(uint16(64), []byte{0xff, 0x00, 0xaa})
+	f.Add(uint16(65), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(uint16(100), []byte{0x80, 0x01, 0x55, 0xaa, 0x0f})
+	f.Add(uint16(129), []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(uint16(255), []byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80})
+
+	f.Fuzz(func(t *testing.T, nRaw uint16, data []byte) {
+		n := int(nRaw)%256 + 1 // 1..256: one to five words, mostly masked tails
+		stride := WordsFor(n)
+
+		// Build two rows from the fuzz bytes (little-endian, zero-padded,
+		// tail-masked) plus the matching per-bit models.
+		byteAt := func(i int) uint64 {
+			if i < len(data) {
+				return uint64(data[i])
+			}
+			return 0
+		}
+		row := func(off int) []uint64 {
+			ws := make([]uint64, stride)
+			for w := 0; w < stride; w++ {
+				for b := 0; b < 8; b++ {
+					ws[w] |= byteAt(off+8*w+b) << (8 * b)
+				}
+			}
+			ws[stride-1] &= TailMask(n)
+			return ws
+		}
+		a, b := row(0), row(8*stride)
+		model := func(ws []uint64) []bool {
+			m := make([]bool, n)
+			for i := range m {
+				m[i] = ws[i>>6]&(1<<(uint(i)&63)) != 0
+			}
+			return m
+		}
+		ma, mb := model(a), model(b)
+		checkRow := func(op string, got []uint64, want []bool) {
+			t.Helper()
+			if got[stride-1]&^TailMask(n) != 0 {
+				t.Fatalf("n=%d: %s violated the tail invariant: %#x", n, op, got[stride-1])
+			}
+			for i, w := range want {
+				if got[i>>6]&(1<<(uint(i)&63)) != 0 != w {
+					t.Fatalf("n=%d: %s bit %d = %v, model %v", n, op, i, !w, w)
+				}
+			}
+		}
+
+		or := append([]uint64(nil), a...)
+		OrWords(or, b)
+		wantOr := make([]bool, n)
+		for i := range wantOr {
+			wantOr[i] = ma[i] || mb[i]
+		}
+		checkRow("OrWords", or, wantOr)
+
+		and := append([]uint64(nil), a...)
+		AndWords(and, b)
+		wantAnd := make([]bool, n)
+		for i := range wantAnd {
+			wantAnd[i] = ma[i] && mb[i]
+		}
+		checkRow("AndWords", and, wantAnd)
+
+		pop, any, full := 0, false, true
+		for _, v := range ma {
+			if v {
+				pop++
+				any = true
+			} else {
+				full = false
+			}
+		}
+		if got := PopWords(a); got != pop {
+			t.Fatalf("n=%d: PopWords = %d, model %d", n, got, pop)
+		}
+		if got := AnyWords(a); got != any {
+			t.Fatalf("n=%d: AnyWords = %v, model %v", n, got, any)
+		}
+		if got := FullWords(a, n); got != full {
+			t.Fatalf("n=%d: FullWords = %v, model %v", n, got, full)
+		}
+		eq := true
+		for i := range ma {
+			if ma[i] != mb[i] {
+				eq = false
+				break
+			}
+		}
+		if got := EqualWords(a, b); got != eq {
+			t.Fatalf("n=%d: EqualWords = %v, model %v", n, got, eq)
+		}
+
+		fill := append([]uint64(nil), a...)
+		FillWords(fill, n)
+		if !FullWords(fill, n) || PopWords(fill) != n || fill[stride-1]&^TailMask(n) != 0 {
+			t.Fatalf("n=%d: FillWords broke the full/masked contract: %v", n, fill)
+		}
+		zero := append([]uint64(nil), a...)
+		ZeroWords(zero)
+		if AnyWords(zero) {
+			t.Fatalf("n=%d: ZeroWords left bits", n)
+		}
+
+		// The Wrap view must agree with the model bit for bit.
+		s := Wrap(n, append([]uint64(nil), a...))
+		if s.Count() != pop || s.Full() != full || s.Empty() == any {
+			t.Fatalf("n=%d: Wrap view disagrees with kernels", n)
+		}
+		for i, v := range ma {
+			if s.Test(i) != v {
+				t.Fatalf("n=%d: Wrap bit %d = %v, model %v", n, i, s.Test(i), v)
+			}
+		}
+
+		// Transpose64 on a tile built from the same bytes: per-bit transpose
+		// equality, then involution back to the original.
+		var tile, orig [64]uint64
+		for w := 0; w < 64; w++ {
+			for bb := 0; bb < 8; bb++ {
+				tile[w] |= byteAt(8*w+bb) << (8 * bb)
+			}
+		}
+		orig = tile
+		Transpose64(&tile)
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 64; j++ {
+				if tile[j]&(1<<uint(i)) != 0 != (orig[i]&(1<<uint(j)) != 0) {
+					t.Fatalf("Transpose64 bit (%d,%d) wrong", i, j)
+				}
+			}
+		}
+		Transpose64(&tile)
+		if tile != orig {
+			t.Fatal("Transpose64 is not an involution")
+		}
+	})
+}

@@ -22,16 +22,23 @@ import (
 
 // Matrix is a dense n×n boolean matrix with bitset rows.
 //
+// All rows live in one contiguous bitset.Block (DESIGN.md §3g); the rows
+// slice holds per-row Set views aliasing the block, so the Row API is
+// unchanged while ApplyTree can run word-blocked kernels over the flat
+// storage.
+//
 // Construct with Zero, Identity, FromTree, or FromRows. Methods that combine
 // matrices require equal dimension and panic otherwise (programmer error).
 type Matrix struct {
-	n    int
-	rows []*bitset.Set
-	// scratch buffers the (row, col) additions of ApplyTree so that a bit
-	// set during a round cannot cascade to grandchildren within the same
-	// round. Reused across calls; makes ApplyTree non-reentrant, which is
-	// fine: a Matrix is never shared across goroutines.
-	scratch []int
+	n     int
+	block *bitset.Block
+	rows  []*bitset.Set // rows[x] aliases block row x (reach set R_x)
+	// ord and cols are ApplyTree scratch (the child-before-parent edge
+	// order and the transposed word-columns of one 64-row band). Reused
+	// across calls; makes ApplyTree non-reentrant, which is fine: a Matrix
+	// is never shared across goroutines.
+	ord  tree.DepthOrder
+	cols []uint64
 }
 
 // Zero returns the n×n all-false matrix.
@@ -39,20 +46,19 @@ func Zero(n int) *Matrix {
 	if n < 0 {
 		panic(fmt.Sprintf("boolmat: negative dimension %d", n))
 	}
+	block := bitset.NewBlock(n, n)
 	rows := make([]*bitset.Set, n)
 	for i := range rows {
-		rows[i] = bitset.New(n)
+		rows[i] = block.RowSet(i)
 	}
-	return &Matrix{n: n, rows: rows}
+	return &Matrix{n: n, block: block, rows: rows}
 }
 
 // Identity returns the n×n identity matrix — the knowledge state at round
 // 0, where every process has heard only itself.
 func Identity(n int) *Matrix {
 	m := Zero(n)
-	for i := 0; i < n; i++ {
-		m.rows[i].Set(i)
-	}
+	m.block.SetDiagonal()
 	return m
 }
 
@@ -60,10 +66,8 @@ func Identity(n int) *Matrix {
 // It returns the knowledge state to round 0 without allocating, which is
 // what lets MatrixEngine participate in the pooled-runner lifecycle.
 func (m *Matrix) SetIdentity() {
-	for i, r := range m.rows {
-		r.Reset()
-		r.Set(i)
-	}
+	m.block.Zero()
+	m.block.SetDiagonal()
 }
 
 // FromTree returns the adjacency matrix of the round graph of t: one edge
@@ -121,9 +125,9 @@ func (m *Matrix) Column(y int) *bitset.Set {
 
 // Clone returns an independent deep copy.
 func (m *Matrix) Clone() *Matrix {
-	c := &Matrix{n: m.n, rows: make([]*bitset.Set, m.n)}
-	for i, r := range m.rows {
-		c.rows[i] = r.Clone()
+	c := &Matrix{n: m.n, block: m.block.Clone(), rows: make([]*bitset.Set, m.n)}
+	for i := range c.rows {
+		c.rows[i] = c.block.RowSet(i)
 	}
 	return c
 }
@@ -166,32 +170,65 @@ func (m *Matrix) Product(o *Matrix) *Matrix {
 // ApplyTree right-multiplies m in place by the round graph of t (tree edges
 // plus all self-loops): after the call, (x,y) holds iff it held before or
 // (x, parent(y)) held before. This is one synchronous round of the model.
-// O(n²) bit operations.
+//
+// The update is word-blocked: each band of 64 rows is bit-transposed into
+// per-column words (bitset.Transpose64), every tree edge then becomes a
+// single word OR cols[y] |= cols[parent(y)] advancing all 64 band rows at
+// once, and the band is transposed back. Applying edges child-before-parent
+// (tree.DepthOrder) guarantees each parent column read is the pre-round
+// value, so a bit set during the round cannot cascade to grandchildren —
+// the same one-hop-per-round invariant the scalar update kept by buffering
+// additions. O(n²/64 + n²/32) word operations instead of O(n²) bit tests.
 func (m *Matrix) ApplyTree(t *tree.Tree) {
 	if t.N() != m.n {
 		panic(fmt.Sprintf("boolmat: tree on %d vertices, matrix dimension %d", t.N(), m.n))
 	}
+	if m.n == 0 {
+		return
+	}
 	parents := t.Parents()
-	for x := 0; x < m.n; x++ {
-		row := m.rows[x]
-		// A vertex y newly hears x iff its parent already had x. The
-		// self-loop makes the old row a subset of the new one, so we only
-		// add bits; reading and writing the same row is safe because an
-		// added bit y could only further justify children of y, which the
-		// model defers to the next round — so collect additions first.
-		for y, p := range parents {
-			if y != p && !row.Test(y) && row.Test(p) {
-				// Mark via a second pass buffer-free trick: because
-				// parent chains point root-ward and we must not cascade
-				// within one round, record in adds.
-				m.scratch = append(m.scratch, x, y)
+	order := m.ord.Fill(parents)
+	stride := m.block.Stride()
+	words := m.block.Words()
+	if len(m.cols) < stride*64 {
+		m.cols = make([]uint64, stride*64)
+	}
+	cols := m.cols
+	var tile [64]uint64
+	for band := 0; band < m.n; band += 64 {
+		bandRows := m.n - band
+		if bandRows > 64 {
+			bandRows = 64
+		}
+		// Gather: transpose each 64×64 tile of the band so cols[y] holds
+		// column y of the band's rows (bit r = entry (band+r, y)).
+		for wi := 0; wi < stride; wi++ {
+			base := (band)*stride + wi
+			for r := 0; r < bandRows; r++ {
+				tile[r] = words[base+r*stride]
+			}
+			for r := bandRows; r < 64; r++ {
+				tile[r] = 0
+			}
+			bitset.Transpose64(&tile)
+			copy(cols[wi*64:(wi+1)*64], tile[:])
+		}
+		// Apply every edge as one word OR, children before parents.
+		for _, y := range order {
+			if p := parents[y]; p != y {
+				cols[y] |= cols[p]
+			}
+		}
+		// Scatter: transpose back into the rows.
+		for wi := 0; wi < stride; wi++ {
+			copy(tile[:], cols[wi*64:(wi+1)*64])
+			bitset.Transpose64(&tile)
+			base := (band)*stride + wi
+			for r := 0; r < bandRows; r++ {
+				words[base+r*stride] = tile[r]
 			}
 		}
 	}
-	for i := 0; i < len(m.scratch); i += 2 {
-		m.rows[m.scratch[i]].Set(m.scratch[i+1])
-	}
-	m.scratch = m.scratch[:0]
 }
 
 // IsReflexive reports whether every diagonal entry is set. All knowledge

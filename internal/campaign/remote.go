@@ -13,57 +13,81 @@ import (
 // keeps executing, and merge whatever comes back into the same
 // job-indexed result slice the purely local path fills.
 //
-// The unit of distribution is the whole cell. PR 2 made every cell a pure
-// function of (engine version, seed, goal, round budget, scenario, n,
-// trials) — its random streams are derived from the cell's own content
-// address, never from grid position — so a cell can be executed anywhere
-// and its per-trial measurements merged byte-identically. A CellJob
-// carries a self-contained single-cell Spec; executing that spec on any
-// machine running the same engine version reproduces the coordinator's
-// bytes exactly, which is why remote execution can never change an
-// artifact, only wall-clock time.
+// The unit of distribution is a shard: a contiguous sub-range of one
+// cell's trials (the whole cell being the degenerate single shard). PR 2
+// made every cell a pure function of (engine version, seed, goal, round
+// budget, scenario, n, trials) — its random streams are derived from the
+// cell's own content address, never from grid position, and split
+// per-trial in trial order — so any trial sub-range can be executed
+// anywhere and its per-trial measurements merged byte-identically. A
+// CellJob carries a self-contained single-cell Spec plus an optional
+// trial sub-range; executing it on any machine running the same engine
+// version reproduces the coordinator's bytes for exactly those trials,
+// which is why remote execution can never change an artifact, only
+// wall-clock time.
 
-// CellJob is one whole-cell unit of distributable work: a self-contained
-// canonical single-cell Spec plus the cell's content address. Executing
-// Spec anywhere (ExecuteCellJob) yields the cell's per-trial measurements,
-// byte-identical to a local run — the streams are derived from the content
-// address, not from where the cell sits in any grid.
+// CellJob is one shard of distributable work: a self-contained canonical
+// single-cell Spec, the cell's content address, and the trial sub-range
+// [TrialLo, TrialHi) to execute. Both bounds zero is the whole-cell
+// encoding (TrialLo=0, TrialHi=Trials), which keeps the wire format and
+// behavior of pre-sharding schedulers and workers unchanged. Executing
+// the job anywhere (ExecuteCellJob) yields the range's per-trial
+// measurements, byte-identical to a local run — each trial owns a
+// pre-split stream derived from the content address, not from where the
+// cell sits in any grid or how its trials are sharded.
 type CellJob struct {
-	Cell   string `json:"cell"`   // display key ("random-tree/n=64")
-	Key    string `json:"key"`    // content address (cell cache key)
-	Trials int    `json:"trials"` // per-trial measurement slices a result must carry
-	Spec   Spec   `json:"spec"`   // canonical spec compiling to exactly this cell
+	Cell    string `json:"cell"`   // display key ("random-tree/n=64")
+	Key     string `json:"key"`    // content address (cell cache key)
+	Trials  int    `json:"trials"` // the cell's total trial count
+	Spec    Spec   `json:"spec"`   // canonical spec compiling to exactly this cell
+	TrialLo int    `json:"trial_lo,omitempty"`
+	TrialHi int    `json:"trial_hi,omitempty"` // 0 with TrialLo 0 means the whole cell
 }
 
-// Remote distributes whole cells of running campaigns to external
+// ShardBounds returns the job's trial sub-range [lo, hi), normalizing
+// the whole-cell encoding (0, 0) to (0, Trials).
+func (j CellJob) ShardBounds() (lo, hi int) {
+	if j.TrialLo == 0 && j.TrialHi == 0 {
+		return 0, j.Trials
+	}
+	return j.TrialLo, j.TrialHi
+}
+
+// Remote distributes trial shards of running campaigns to external
 // executors. RunSpec calls Open with the campaign's pending cells; the
-// local pool and the remote side then race for cells through the returned
-// session, and whichever completes a cell first supplies its results.
-// internal/cluster's Coordinator is the HTTP implementation.
+// scheduler decides how (whether) to split each cell's trial range into
+// shards, the local pool and the remote side race for shards through the
+// returned session, and whichever completes a shard first supplies its
+// results. internal/cluster's Coordinator is the HTTP implementation.
 type Remote interface {
-	// Open registers a campaign's pending cells. deliver is invoked at
-	// most once per cell — serialized per cell, possibly concurrently
-	// across cells — with the cell's per-trial measurements in trial
-	// order (exactly job.Trials slices) when the remote side completes
-	// it. Cells the local pool claims and completes (ClaimLocal +
-	// CompleteLocal) are never delivered.
-	Open(jobs []CellJob, deliver func(key string, trials [][]Measurement)) RemoteSession
+	// Open registers a campaign's pending cells (whole, TrialLo/TrialHi
+	// unset — sharding is the scheduler's choice). deliver is invoked at
+	// most once per (key, lo, hi) shard — serialized per shard, possibly
+	// concurrently across shards — with the shard's per-trial
+	// measurements in trial order (exactly hi-lo slices, for trials
+	// lo..hi-1 of the cell) when the remote side completes it. Shards
+	// the local pool claims and completes (ClaimLocal + CompleteLocal)
+	// are never delivered.
+	Open(jobs []CellJob, deliver func(key string, lo, hi int, trials [][]Measurement)) RemoteSession
 }
 
-// RemoteSession coordinates one campaign's cells between the local pool
+// RemoteSession coordinates one campaign's shards between the local pool
 // and remote workers.
 type RemoteSession interface {
-	// ClaimLocal blocks until a cell is available for local execution and
-	// claims it, returning false when every cell is complete, the session
-	// is closed, or ctx is done. Cells under an active remote lease are
+	// ClaimLocal blocks until a shard is available for local execution
+	// and claims it — the returned job's ShardBounds give the trial
+	// range — returning false when every shard is complete, the session
+	// is closed, or ctx is done. Shards under an active remote lease are
 	// not handed out until the lease expires, so local and remote work
 	// overlap only when a lease times out.
 	ClaimLocal(ctx context.Context) (CellJob, bool)
-	// CompleteLocal marks a locally executed cell complete, reporting
-	// whether the caller won (false means the remote side delivered the
-	// cell first and the local results must be discarded).
-	CompleteLocal(key string) bool
-	// Close detaches the campaign from the scheduler; pending cells are
+	// CompleteLocal marks a locally executed shard [lo, hi) of the keyed
+	// cell complete, reporting whether the caller won (false means the
+	// remote side delivered the shard first and the local results must
+	// be discarded). The bounds must be the normalized ShardBounds of
+	// the claimed job.
+	CompleteLocal(key string, lo, hi int) bool
+	// Close detaches the campaign from the scheduler; pending shards are
 	// withdrawn and late remote results are dropped.
 	Close()
 }
@@ -106,14 +130,16 @@ func cellJob(canon Spec, c cellPlan) CellJob {
 	}
 }
 
-// ExecuteCellJob runs one leased cell to completion and returns its
-// per-trial measurements in trial order — the worker side of the cluster
-// protocol. The job's spec is compiled locally and checked against the
-// job's content address (the handshake that catches engine drift beyond
-// the version string); any trial error fails the whole cell, because
-// partial cells are never pushed — the coordinator re-queues failed
-// leases and the deterministic error surfaces through the local pool
-// instead.
+// ExecuteCellJob runs one leased shard to completion and returns its
+// per-trial measurements in trial order (hi-lo slices, for trials
+// ShardBounds' lo..hi-1) — the worker side of the cluster protocol. The
+// job's spec is compiled locally and checked against the job's content
+// address (the handshake that catches engine drift beyond the version
+// string); the cell's jobs are compiled whole and the shard's sub-range
+// executed, so trial lo sees exactly the pre-split stream it would in a
+// whole-cell run. Any trial error fails the whole shard, because partial
+// shards are never pushed — the coordinator re-queues failed leases and
+// the deterministic error surfaces through the local pool instead.
 func ExecuteCellJob(ctx context.Context, job CellJob) ([][]Measurement, error) {
 	jobs, cells, _, err := job.Spec.compile()
 	if err != nil {
@@ -126,36 +152,44 @@ func ExecuteCellJob(ctx context.Context, job CellJob) ([][]Measurement, error) {
 		return nil, fmt.Errorf("campaign: cell %s: content address mismatch (lease %.12s, computed %.12s)",
 			job.Cell, job.Key, cells[0].Key)
 	}
-	results, err := Run(ctx, jobs, Config{Workers: 1})
+	lo, hi := job.ShardBounds()
+	if lo < 0 || hi > len(jobs) || lo >= hi {
+		return nil, fmt.Errorf("campaign: cell %s: trial range [%d,%d) outside the cell's %d trials",
+			job.Cell, lo, hi, len(jobs))
+	}
+	results, err := Run(ctx, jobs[lo:hi], Config{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
 	trials := make([][]Measurement, len(results))
 	for i, r := range results {
 		if r.Err != nil {
-			return nil, fmt.Errorf("campaign: cell %s trial %d: %w", job.Cell, i, r.Err)
+			return nil, fmt.Errorf("campaign: cell %s trial %d: %w", job.Cell, lo+i, r.Err)
 		}
 		trials[i] = r.Measurements
 	}
 	return trials, nil
 }
 
-// remoteCell is one unit of distributable work, keyed by content
-// address: every compiled plan sharing the address (duplicate grid
-// cells have identical streams) plus, per plan, the job indexes not
-// already covered by the checkpoint or cache, in trial order.
+// remoteCell is one distributable cell, keyed by content address: every
+// compiled plan sharing the address (duplicate grid cells have identical
+// streams) plus, per plan, which trial positions are not already covered
+// by the checkpoint or cache. Indexing by trial position — not job index
+// — is what lets shard deliveries, which cover disjoint [lo, hi) trial
+// ranges in arbitrary order, splice independently.
 type remoteCell struct {
-	plans   []cellPlan
-	pending [][]int // parallel to plans
+	plans  []cellPlan
+	needed [][]bool // parallel to plans, indexed by trial position
 }
 
 // runRemote is RunSpec's execution path when Config.Remote is set: cells
 // not already satisfied by the checkpoint or cache are offered to the
 // remote scheduler while cfg.Workers local workers claim and execute the
-// rest, whole cell by whole cell, on pooled arenas. Results land in the
+// rest, shard by shard, on pooled arenas. Results land in the
 // job-indexed slice whichever side computes them, so the aggregated
 // outcome is byte-identical to a purely local run — remote workers (and
-// their failures) can only move wall-clock time.
+// their failures) can only move wall-clock time, and so can the shard
+// size, because every trial's stream was pre-split at compile time.
 func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cfg Config) ([]JobResult, error) {
 	results, reused := initResults(jobs, cfg.Completed)
 
@@ -168,13 +202,14 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 	work := make(map[string]*remoteCell, len(cells))
 	var cellJobs []CellJob
 	for _, c := range cells {
-		var todo []int
-		for _, idx := range c.JobIdx {
+		needed := make([]bool, len(c.JobIdx))
+		any := false
+		for ti, idx := range c.JobIdx {
 			if results[idx].Skipped {
-				todo = append(todo, idx)
+				needed[ti], any = true, true
 			}
 		}
-		if len(todo) == 0 {
+		if !any {
 			continue
 		}
 		rc := work[c.Key]
@@ -184,7 +219,7 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 			cellJobs = append(cellJobs, cellJob(canon, c))
 		}
 		rc.plans = append(rc.plans, c)
-		rc.pending = append(rc.pending, todo)
+		rc.needed = append(rc.needed, needed)
 	}
 	if len(cellJobs) == 0 {
 		return results, ctx.Err()
@@ -195,7 +230,7 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 		done   = reused
 		closed bool
 	)
-	// fire splices one cell's fresh results and runs the callbacks, in
+	// fire splices one shard's fresh results and runs the callbacks, in
 	// job-index (trial) order. After close (cancellation teardown) late
 	// remote deliveries are dropped so nothing touches the results slice
 	// once runRemote returned it.
@@ -217,35 +252,36 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 			}
 		}
 	}
-	deliver := func(key string, trials [][]Measurement) {
+	deliver := func(key string, lo, hi int, trials [][]Measurement) {
 		rc, ok := work[key]
 		if !ok {
 			return
 		}
 		var rs []JobResult
 		for pi, plan := range rc.plans {
-			todo := rc.pending[pi]
-			if len(trials) != len(plan.JobIdx) {
+			need := rc.needed[pi]
+			if lo < 0 || hi > len(need) || lo > hi || len(trials) != hi-lo {
 				// The Remote contract (and the coordinator's result
-				// validation) guarantee exactly Trials slices; a scheduler
-				// that violates it has marked the cell complete, so the
-				// only non-wedging response is loud per-job errors in the
-				// artifact (a hang or a swallowed panic would hide it).
-				err := fmt.Errorf("campaign: remote delivered %d trials for cell %s, want %d",
-					len(trials), plan.Cell, len(plan.JobIdx))
-				for _, idx := range todo {
-					rs = append(rs, JobResult{Index: idx, Err: err})
+				// validation) guarantee a shard inside the cell carrying
+				// exactly hi-lo slices; a scheduler that violates it has
+				// marked the shard complete, so the only non-wedging
+				// response is loud per-job errors in the artifact (a hang
+				// or a swallowed panic would hide it).
+				err := fmt.Errorf("campaign: remote delivered %d trials for %s[%d:%d) of %d",
+					len(trials), plan.Cell, lo, hi, len(need))
+				for ti := max(lo, 0); ti < min(hi, len(need)); ti++ {
+					if need[ti] {
+						rs = append(rs, JobResult{Index: plan.JobIdx[ti], Err: err})
+					}
 				}
 				continue
 			}
-			// Two-pointer merge: todo is a subsequence of plan.JobIdx
-			// (both ascending), so one pass splices exactly the uncovered
-			// trials.
-			spliced := 0
-			for ti, idx := range plan.JobIdx {
-				if spliced < len(todo) && todo[spliced] == idx {
-					rs = append(rs, JobResult{Index: idx, Measurements: trials[ti]})
-					spliced++
+			// Shards cover disjoint trial ranges, so splicing by trial
+			// position needs no cross-shard bookkeeping; positions the
+			// checkpoint or cache already covered are simply discarded.
+			for ti := lo; ti < hi; ti++ {
+				if need[ti] {
+					rs = append(rs, JobResult{Index: plan.JobIdx[ti], Measurements: trials[ti-lo]})
 				}
 			}
 		}
@@ -273,31 +309,43 @@ func runRemote(ctx context.Context, jobs []Job, cells []cellPlan, canon Spec, cf
 				if !ok {
 					return
 				}
-				// Whole-cell execution on the worker's arena, exactly the
+				// Shard execution on the worker's arena, exactly the
 				// batched pipeline's cell loop: fresh round budget, then
 				// trial after trial through the job closures — for every
 				// plan sharing the claimed content address.
+				lo, hi := job.ShardBounds()
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > job.Trials {
+					hi = job.Trials
+				}
 				arena.Runner.MaxRounds = 0
-				mBatchTrials.Observe(float64(job.Trials))
+				mBatchTrials.Observe(float64(hi - lo))
 				rc := work[job.Key]
 				var rs []JobResult
 				cancelled := false
-				for _, todo := range rc.pending {
-					for _, idx := range todo {
+				for pi, plan := range rc.plans {
+					need := rc.needed[pi]
+					for ti := lo; ti < hi && ti < len(need); ti++ {
+						if !need[ti] {
+							continue
+						}
 						if ctx.Err() != nil {
 							cancelled = true
 							break
 						}
+						idx := plan.JobIdx[ti]
 						ms, err := execJob(ctx, jobs[idx], arena, cfg.NoReuse)
 						rs = append(rs, JobResult{Index: idx, Measurements: ms, Err: err})
 					}
 				}
 				if cancelled {
-					// Partial cells are discarded (their jobs stay
+					// Partial shards are discarded (their jobs stay
 					// Skipped), mirroring the local pool's drain-on-cancel.
 					return
 				}
-				if session.CompleteLocal(job.Key) {
+				if session.CompleteLocal(job.Key, lo, hi) {
 					fire(rs)
 				}
 			}

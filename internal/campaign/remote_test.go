@@ -9,54 +9,80 @@ import (
 )
 
 // fakeRemote is an in-process Remote for exercising runRemote without
-// HTTP: it "executes" a chosen subset of cells on a goroutine via
-// ExecuteCellJob and leaves the rest to the local pool.
+// HTTP: it splits cells into shards of shard trials (0 = whole cell),
+// "executes" a chosen subset of them on a goroutine via ExecuteCellJob,
+// and leaves the rest to the local pool.
 type fakeRemote struct {
-	// takes decides which offered cells the fake executes remotely.
+	// takes decides which offered shards the fake executes remotely
+	// (i counts shards in offer order).
 	takes func(i int, job CellJob) bool
+	// shard is the trials-per-shard split applied to every cell.
+	shard int
 }
 
 type fakeSession struct {
 	mu      sync.Mutex
 	order   []string
-	cells   map[string]*fakeCell
+	shards  map[string][]*fakeShard
 	pending int
 	closed  bool
 	notify  chan struct{}
 }
 
-type fakeCell struct {
-	job    CellJob
+type fakeShard struct {
+	job    CellJob // bounds set to the shard's range
+	lo, hi int
 	remote bool // owned by the fake's executor goroutine
 	done   bool
 }
 
-func (f *fakeRemote) Open(jobs []CellJob, deliver func(key string, trials [][]Measurement)) RemoteSession {
-	s := &fakeSession{cells: make(map[string]*fakeCell, len(jobs)), pending: len(jobs), notify: make(chan struct{})}
-	var mine []CellJob
-	for i, j := range jobs {
-		c := &fakeCell{job: j, remote: f.takes != nil && f.takes(i, j)}
+// shardSplit cuts a whole-cell job into shard-sized sub-range jobs,
+// keeping the (0, 0) whole-cell encoding when no split happens.
+func shardSplit(job CellJob, shard int) []*fakeShard {
+	if shard <= 0 || shard >= job.Trials {
+		return []*fakeShard{{job: job, lo: 0, hi: job.Trials}}
+	}
+	var out []*fakeShard
+	for lo := 0; lo < job.Trials; lo += shard {
+		hi := min(lo+shard, job.Trials)
+		sj := job
+		sj.TrialLo, sj.TrialHi = lo, hi
+		out = append(out, &fakeShard{job: sj, lo: lo, hi: hi})
+	}
+	return out
+}
+
+func (f *fakeRemote) Open(jobs []CellJob, deliver func(key string, lo, hi int, trials [][]Measurement)) RemoteSession {
+	s := &fakeSession{shards: make(map[string][]*fakeShard, len(jobs)), notify: make(chan struct{})}
+	var mine []*fakeShard
+	i := 0
+	for _, j := range jobs {
+		shards := shardSplit(j, f.shard)
 		s.order = append(s.order, j.Key)
-		s.cells[j.Key] = c
-		if c.remote {
-			mine = append(mine, j)
+		s.shards[j.Key] = shards
+		s.pending += len(shards)
+		for _, sh := range shards {
+			sh.remote = f.takes != nil && f.takes(i, sh.job)
+			if sh.remote {
+				mine = append(mine, sh)
+			}
+			i++
 		}
 	}
 	go func() {
-		for _, j := range mine {
-			trials, err := ExecuteCellJob(context.Background(), j)
+		for _, sh := range mine {
+			trials, err := ExecuteCellJob(context.Background(), sh.job)
 			if err != nil {
 				panic(err) // test grids never fail
 			}
 			s.mu.Lock()
-			c := s.cells[j.Key]
-			if c.done {
+			if sh.done {
 				s.mu.Unlock()
 				continue
 			}
-			c.done = true
+			sh.done = true
 			s.mu.Unlock()
-			deliver(j.Key, trials)
+			deliver(sh.job.Key, sh.lo, sh.hi, trials)
 			s.mu.Lock()
 			s.pending--
 			close(s.notify)
@@ -75,12 +101,13 @@ func (s *fakeSession) ClaimLocal(ctx context.Context) (CellJob, bool) {
 			return CellJob{}, false
 		}
 		for _, key := range s.order {
-			c := s.cells[key]
-			if !c.done && !c.remote {
-				c.remote = true // mark claimed so no other local worker takes it
-				job := c.job
-				s.mu.Unlock()
-				return job, true
+			for _, sh := range s.shards[key] {
+				if !sh.done && !sh.remote {
+					sh.remote = true // mark claimed so no other local worker takes it
+					job := sh.job
+					s.mu.Unlock()
+					return job, true
+				}
 			}
 		}
 		notify := s.notify
@@ -93,18 +120,19 @@ func (s *fakeSession) ClaimLocal(ctx context.Context) (CellJob, bool) {
 	}
 }
 
-func (s *fakeSession) CompleteLocal(key string) bool {
+func (s *fakeSession) CompleteLocal(key string, lo, hi int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c := s.cells[key]
-	if c == nil || c.done {
-		return false
+	for _, sh := range s.shards[key] {
+		if sh.lo == lo && sh.hi == hi && !sh.done {
+			sh.done = true
+			s.pending--
+			close(s.notify)
+			s.notify = make(chan struct{})
+			return true
+		}
 	}
-	c.done = true
-	s.pending--
-	close(s.notify)
-	s.notify = make(chan struct{})
-	return true
+	return false
 }
 
 func (s *fakeSession) Close() {
@@ -166,6 +194,131 @@ func TestRunSpecRemoteByteIdentity(t *testing.T) {
 			if out.Completed != out.Jobs || out.Failed != 0 {
 				t.Errorf("%s noReuse=%v: completed %d/%d, failed %d", name, noReuse, out.Completed, out.Jobs, out.Failed)
 			}
+		}
+	}
+}
+
+// TestRunSpecRemoteShardedByteIdentity is the sharding half of the
+// byte-identity battery: splitting every cell's trial range into shards
+// of {1 trial, an uneven split, the whole cell}, across remote/local
+// splits and worker counts, changes no artifact byte — each trial owns a
+// pre-split stream, so the shard size is pure scheduling.
+func TestRunSpecRemoteShardedByteIdentity(t *testing.T) {
+	spec := remoteTestSpec() // Trials = 4: shard 3 splits unevenly into [0,3)+[3,4)
+	want, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := outcomeJSON(t, want)
+
+	splits := map[string]func(i int, job CellJob) bool{
+		"all-remote":  func(int, CellJob) bool { return true },
+		"all-local":   func(int, CellJob) bool { return false },
+		"interleaved": func(i int, _ CellJob) bool { return i%2 == 0 },
+	}
+	for _, shard := range []int{1, 3, 0} {
+		for name, takes := range splits {
+			for _, workers := range []int{1, 2} {
+				out, err := RunSpec(context.Background(), spec, Config{
+					Workers: workers, Remote: &fakeRemote{takes: takes, shard: shard},
+				})
+				if err != nil {
+					t.Fatalf("shard=%d %s workers=%d: %v", shard, name, workers, err)
+				}
+				if got := outcomeJSON(t, out); got != wantJSON {
+					t.Errorf("shard=%d %s workers=%d: artifact differs from whole-cell local run:\n%s\nvs\n%s",
+						shard, name, workers, got, wantJSON)
+				}
+				if out.Completed != out.Jobs || out.Failed != 0 {
+					t.Errorf("shard=%d %s workers=%d: completed %d/%d, failed %d",
+						shard, name, workers, out.Completed, out.Jobs, out.Failed)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSpecRemoteShardedPartialCheckpoint: a checkpoint covering a
+// scatter of trials composes with single-trial remote shards — the
+// sharded deliveries discard checkpointed positions and fill the rest,
+// bytes unchanged.
+func TestRunSpecRemoteShardedPartialCheckpoint(t *testing.T) {
+	spec := remoteTestSpec()
+	want, err := RunSpec(context.Background(), spec, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := outcomeJSON(t, want)
+
+	jobs, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(context.Background(), jobs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := map[int]JobResult{}
+	for i, r := range full {
+		if i%3 == 0 {
+			completed[i] = r
+		}
+	}
+	out, err := RunSpec(context.Background(), spec, Config{
+		Workers:   2,
+		Remote:    &fakeRemote{takes: func(int, CellJob) bool { return true }, shard: 1},
+		Completed: completed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outcomeJSON(t, out); got != wantJSON {
+		t.Errorf("sharded partial-checkpoint artifact differs:\n%s\nvs\n%s", got, wantJSON)
+	}
+	if out.Reused != len(completed) {
+		t.Errorf("Reused = %d, want %d", out.Reused, len(completed))
+	}
+}
+
+// TestExecuteCellJobShard pins the worker-side shard semantics: a
+// sub-range execution returns exactly the whole-cell run's slices for
+// those trials (the pre-split streams make position, not company,
+// determine a trial's bytes), and out-of-range bounds are errors.
+func TestExecuteCellJobShard(t *testing.T) {
+	spec := remoteTestSpec()
+	cellJobs, err := spec.CellJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := cellJobs[0]
+	whole, err := ExecuteCellJob(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := job
+	shard.TrialLo, shard.TrialHi = 1, 3
+	part, err := ExecuteCellJob(context.Background(), shard)
+	if err != nil {
+		t.Fatalf("ExecuteCellJob shard [1,3): %v", err)
+	}
+	if len(part) != 2 {
+		t.Fatalf("shard [1,3) returned %d trials, want 2", len(part))
+	}
+	for i, ms := range part {
+		if len(ms) != len(whole[1+i]) {
+			t.Fatalf("shard trial %d has %d measurements, whole-cell %d", 1+i, len(ms), len(whole[1+i]))
+		}
+		for j := range ms {
+			if ms[j] != whole[1+i][j] {
+				t.Errorf("shard trial %d measurement %d = %+v, whole-cell %+v", 1+i, j, ms[j], whole[1+i][j])
+			}
+		}
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {3, 2}, {0, job.Trials + 1}} {
+		b := job
+		b.TrialLo, b.TrialHi = bad[0], bad[1]
+		if _, err := ExecuteCellJob(context.Background(), b); err == nil {
+			t.Errorf("ExecuteCellJob with range [%d,%d) succeeded", bad[0], bad[1])
 		}
 	}
 }

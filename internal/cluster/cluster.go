@@ -1,8 +1,10 @@
 // Package cluster implements the distributed campaign fabric (DESIGN.md
-// §3e): a Coordinator that shards running campaigns' grid cells to remote
-// workers over HTTP, and the worker loop (RunWorker) that leases cells,
-// executes them on the arena pipeline, and pushes per-trial measurements
-// back keyed by each cell's content address.
+// §3e, §3g): a Coordinator that shards running campaigns' grid cells to
+// remote workers over HTTP — whole cells by default, or sub-cell trial
+// ranges with Options.ShardTrials — and the worker loop (RunWorker) that
+// leases shards, executes them on the arena pipeline, and pushes
+// per-trial measurements back keyed by each cell's content address and
+// trial range.
 //
 // The protocol is two endpoints, mounted by internal/server (and by
 // cmd/campaign -join) under /cluster:
@@ -11,17 +13,19 @@
 //	                       | 204 (no pending work) | 409 (engine version
 //	                       mismatch — the handshake that keeps a stale
 //	                       worker from ever computing a cell)
-//	POST /cluster/results  {lease_id, worker, key, trials | error}
-//	                       → 200 {accepted, reason?}
+//	POST /cluster/results  {lease_id, worker, key, trial_lo?, trial_hi?,
+//	                       trials | error} → 200 {accepted, reason?}
 //
-// Correctness leans entirely on the campaign determinism contract: a cell
-// is a pure function of its content address, so the coordinator is free
-// to re-issue expired leases, let the local pool steal abandoned cells,
-// and drop duplicate or stale results — whichever source completes a cell
-// first supplies bytes identical to every other source. A dead, slow,
-// stale-versioned, or truncating worker can therefore change only
-// wall-clock time, never an artifact. See DESIGN.md §3e for the lease
-// lifecycle and the byte-identity argument.
+// Correctness leans entirely on the campaign determinism contract: a
+// shard is a pure function of its content address and trial range (every
+// trial's random stream is pre-split at compile time), so the
+// coordinator is free to re-issue expired leases, let the local pool
+// steal abandoned shards, and drop duplicate or stale results —
+// whichever source completes a shard first supplies bytes identical to
+// every other source. A dead, slow, stale-versioned, or truncating
+// worker can therefore change only wall-clock time, never an artifact.
+// See DESIGN.md §3e for the lease lifecycle and byte-identity argument,
+// §3g for sub-cell sharding.
 //
 // Trust note: workers are trusted to compute honestly. The protocol
 // validates lease currency, the content-address echo, the trial count,
@@ -51,10 +55,17 @@ const DefaultLeaseTTL = time.Minute
 
 // Options configures a Coordinator.
 type Options struct {
-	// LeaseTTL is how long a worker holds an unacknowledged cell lease
+	// LeaseTTL is how long a worker holds an unacknowledged shard lease
 	// before the coordinator re-issues it (to another worker or the local
 	// pool); <= 0 selects DefaultLeaseTTL.
 	LeaseTTL time.Duration
+	// ShardTrials, when > 0, splits every cell's trial range into shards
+	// of at most this many trials and leases them independently, so one
+	// huge cell saturates the fleet instead of one worker. 0 (the
+	// default) keeps the whole cell as the lease unit. Any value
+	// produces byte-identical artifacts — each trial's random stream is
+	// pre-split at compile time, so the shard size is pure scheduling.
+	ShardTrials int
 	// Logf, when non-nil, receives one line per lease lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -72,13 +83,18 @@ type LeaseResponse struct {
 	Job      campaign.CellJob `json:"job"`
 }
 
-// ResultPush is the body of POST /cluster/results: a completed cell's
+// ResultPush is the body of POST /cluster/results: a completed shard's
 // per-trial measurements (or, with Error set, a failed lease the
-// coordinator should re-queue).
+// coordinator should re-queue). TrialLo/TrialHi echo the leased job's
+// sub-range; both zero means the whole cell, which is what pre-sharding
+// workers push — against a sharded lease that normalizes to a range
+// mismatch and a harmless re-queue, never a corrupt splice.
 type ResultPush struct {
 	LeaseID string                   `json:"lease_id"`
 	Worker  string                   `json:"worker"`
 	Key     string                   `json:"key"` // echo of the cell's content address
+	TrialLo int                      `json:"trial_lo,omitempty"`
+	TrialHi int                      `json:"trial_hi,omitempty"`
 	Trials  [][]campaign.Measurement `json:"trials,omitempty"`
 	Error   string                   `json:"error,omitempty"`
 }
@@ -92,12 +108,14 @@ type ResultAck struct {
 	Reason   string `json:"reason,omitempty"`
 }
 
-// Stats counts coordinator lifecycle events since construction.
+// Stats counts coordinator lifecycle events since construction. The unit
+// of the lease lifecycle is the shard; with Options.ShardTrials unset
+// every cell is one shard, so the counts match pre-sharding semantics.
 type Stats struct {
-	LeasesGranted  int // cells handed to remote workers
+	LeasesGranted  int // shards handed to remote workers
 	LeasesRejected int // version-handshake rejections
-	RemoteCells    int // cells completed by remote workers
-	Requeued       int // leases expired, failed, or invalid → cell re-pooled
+	RemoteCells    int // shards completed by remote workers
+	Requeued       int // leases expired, failed, or invalid → shard re-pooled
 }
 
 // Coordinator shards the cells of running campaigns to HTTP workers. It
@@ -107,9 +125,10 @@ type Stats struct {
 // for concurrent use; one Coordinator serves any number of concurrent
 // campaigns.
 type Coordinator struct {
-	ttl  time.Duration
-	logf func(string, ...any)
-	now  func() time.Time // test hook; time.Now outside tests
+	ttl   time.Duration
+	shard int // Options.ShardTrials; 0 = whole-cell leases
+	logf  func(string, ...any)
+	now   func() time.Time // test hook; time.Now outside tests
 
 	mu        sync.Mutex
 	sessions  []*session        // open campaigns, in Open order
@@ -120,16 +139,17 @@ type Coordinator struct {
 	stats     Stats
 }
 
-// lease is one outstanding cell grant. A lease id is present in
-// Coordinator.leases exactly while it is the cell's current, unexpired,
+// lease is one outstanding shard grant. A lease id is present in
+// Coordinator.leases exactly while it is the shard's current, unexpired,
 // un-superseded grant — re-issue and local steal both delete it. A push
-// under a deleted lease is not lost, though: while the cell is still
-// incomplete, HandleResults accepts the result by content address
-// (determinism makes a late result exactly as good as a fresh one), so
-// workers that outlive their leases still contribute.
+// under a deleted lease is not lost, though: while the shard is still
+// incomplete, HandleResults accepts the result by (content address,
+// trial range) — determinism makes a late result exactly as good as a
+// fresh one — so workers that outlive their leases still contribute.
 type lease struct {
 	sess   *session
 	key    string
+	shard  int // index into the cell's shards
 	worker string
 }
 
@@ -137,21 +157,66 @@ type lease struct {
 type session struct {
 	c       *Coordinator
 	id      int
-	deliver func(key string, trials [][]campaign.Measurement)
+	deliver func(key string, lo, hi int, trials [][]campaign.Measurement)
 	order   []string // claim order (campaign compile order)
 	cells   map[string]*cellState
-	pending int
+	pending int // shards not yet complete
 	closed  bool
 	notify  chan struct{} // closed and replaced on every state change
 }
 
-// cellState tracks one cell through the lease lifecycle.
+// cellState tracks one cell's shards through the lease lifecycle. Shard
+// boundaries are fixed at Open from Options.ShardTrials, so every lease,
+// push, and local claim for a shard names the same [lo, hi) — which is
+// what makes the (key, lo, hi) match of late pushes unambiguous.
 type cellState struct {
-	job      campaign.CellJob
+	job    campaign.CellJob
+	shards []shardState
+}
+
+// shardState tracks one trial sub-range of a cell.
+type shardState struct {
+	lo, hi   int
 	done     bool
 	local    bool // claimed by the campaign's local pool
 	leaseID  string
 	leaseExp time.Time
+}
+
+// shardJob is the leased view of one shard: the cell's job with the
+// shard's bounds, keeping the (0, 0) whole-cell encoding when the cell
+// is its own single shard (byte-compatible with pre-sharding workers).
+func (cs *cellState) shardJob(i int) campaign.CellJob {
+	job := cs.job
+	if sh := cs.shards[i]; sh.lo != 0 || sh.hi != job.Trials {
+		job.TrialLo, job.TrialHi = sh.lo, sh.hi
+	}
+	return job
+}
+
+// shardName renders a shard for logs: the bare cell when the shard is
+// the whole cell, otherwise the cell with its trial range.
+func (cs *cellState) shardName(sh *shardState) string {
+	if sh.lo == 0 && sh.hi == cs.job.Trials {
+		return cs.job.Cell
+	}
+	return fmt.Sprintf("%s[%d:%d)", cs.job.Cell, sh.lo, sh.hi)
+}
+
+// shardSpans cuts a trial count into the coordinator's shard boundaries.
+func (c *Coordinator) shardSpans(trials int) []shardState {
+	if c.shard <= 0 || c.shard >= trials {
+		return []shardState{{lo: 0, hi: trials}}
+	}
+	out := make([]shardState, 0, (trials+c.shard-1)/c.shard)
+	for lo := 0; lo < trials; lo += c.shard {
+		hi := lo + c.shard
+		if hi > trials {
+			hi = trials
+		}
+		out = append(out, shardState{lo: lo, hi: hi})
+	}
+	return out
 }
 
 // New returns a Coordinator ready to accept campaigns and workers.
@@ -164,7 +229,7 @@ func New(opts Options) *Coordinator {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Coordinator{ttl: ttl, logf: logf, now: time.Now,
+	return &Coordinator{ttl: ttl, shard: opts.ShardTrials, logf: logf, now: time.Now,
 		leases: make(map[string]*lease), workers: make(map[string]*workerState)}
 }
 
@@ -189,7 +254,7 @@ func (c *Coordinator) Handler() http.Handler {
 // Open implements campaign.Remote: it registers a campaign's pending
 // cells for leasing and returns the session its local pool coordinates
 // through.
-func (c *Coordinator) Open(jobs []campaign.CellJob, deliver func(key string, trials [][]campaign.Measurement)) campaign.RemoteSession {
+func (c *Coordinator) Open(jobs []campaign.CellJob, deliver func(key string, lo, hi int, trials [][]campaign.Measurement)) campaign.RemoteSession {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextSess++
@@ -198,24 +263,26 @@ func (c *Coordinator) Open(jobs []campaign.CellJob, deliver func(key string, tri
 		id:      c.nextSess,
 		deliver: deliver,
 		cells:   make(map[string]*cellState, len(jobs)),
-		pending: len(jobs),
 		notify:  make(chan struct{}),
 	}
+	shards := 0
 	for _, j := range jobs {
 		if _, dup := s.cells[j.Key]; dup {
 			// Defensive: a scheduler must see each content address once
 			// (campaign's runRemote groups duplicate grid cells before
 			// opening a session); counting a key twice would leave
 			// pending above zero forever.
-			s.pending--
 			continue
 		}
+		cs := &cellState{job: j, shards: c.shardSpans(j.Trials)}
 		s.order = append(s.order, j.Key)
-		s.cells[j.Key] = &cellState{job: j}
+		s.cells[j.Key] = cs
+		shards += len(cs.shards)
 	}
+	s.pending = shards
 	c.sessions = append(c.sessions, s)
 	cmSessions.Inc()
-	c.logf("cluster: session %d opened: %d cells", s.id, len(jobs))
+	c.logf("cluster: session %d opened: %d cells, %d leasable shards", s.id, len(s.order), shards)
 	return s
 }
 
@@ -225,19 +292,19 @@ func (s *session) wake() {
 	s.notify = make(chan struct{})
 }
 
-// dropLease must be called with c.mu held: it invalidates the cell's
+// dropLease must be called with c.mu held: it invalidates the shard's
 // current lease, if any, so a later push from its holder misses.
-func (c *Coordinator) dropLease(cs *cellState) {
-	if cs.leaseID != "" {
-		delete(c.leases, cs.leaseID)
-		cs.leaseID = ""
+func (c *Coordinator) dropLease(sh *shardState) {
+	if sh.leaseID != "" {
+		delete(c.leases, sh.leaseID)
+		sh.leaseID = ""
 	}
 }
 
-// ClaimLocal implements campaign.RemoteSession. Local workers get cells
+// ClaimLocal implements campaign.RemoteSession. Local workers get shards
 // that are unleased — or whose lease has expired (the local steal that
 // makes a dead worker cost only wall-clock) — in campaign compile order,
-// and block while every pending cell is under an active lease.
+// and block while every pending shard is under an active lease.
 func (s *session) ClaimLocal(ctx context.Context) (campaign.CellJob, bool) {
 	c := s.c
 	for {
@@ -250,25 +317,28 @@ func (s *session) ClaimLocal(ctx context.Context) (campaign.CellJob, bool) {
 		var nearest time.Time
 		for _, key := range s.order {
 			cs := s.cells[key]
-			if cs.done || cs.local {
-				continue
-			}
-			if cs.leaseID != "" && now.Before(cs.leaseExp) {
-				if nearest.IsZero() || cs.leaseExp.Before(nearest) {
-					nearest = cs.leaseExp
+			for i := range cs.shards {
+				sh := &cs.shards[i]
+				if sh.done || sh.local {
+					continue
 				}
-				continue
+				if sh.leaseID != "" && now.Before(sh.leaseExp) {
+					if nearest.IsZero() || sh.leaseExp.Before(nearest) {
+						nearest = sh.leaseExp
+					}
+					continue
+				}
+				if sh.leaseID != "" {
+					c.stats.Requeued++
+					cmRequeued.With("steal").Inc()
+					c.logf("cluster: session %d: lease on %s expired; local steal", s.id, cs.shardName(sh))
+					c.dropLease(sh)
+				}
+				sh.local = true
+				job := cs.shardJob(i)
+				c.mu.Unlock()
+				return job, true
 			}
-			if cs.leaseID != "" {
-				c.stats.Requeued++
-				cmRequeued.With("steal").Inc()
-				c.logf("cluster: session %d: lease on %s expired; local steal", s.id, cs.job.Cell)
-				c.dropLease(cs)
-			}
-			cs.local = true
-			job := cs.job
-			c.mu.Unlock()
-			return job, true
 		}
 		notify := s.notify
 		c.mu.Unlock()
@@ -296,20 +366,37 @@ func (s *session) ClaimLocal(ctx context.Context) (campaign.CellJob, bool) {
 	}
 }
 
-// CompleteLocal implements campaign.RemoteSession.
-func (s *session) CompleteLocal(key string) bool {
+// CompleteLocal implements campaign.RemoteSession: it resolves the shard
+// by its exact (key, lo, hi) boundaries, which the claimed job's
+// ShardBounds carry.
+func (s *session) CompleteLocal(key string, lo, hi int) bool {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cs, ok := s.cells[key]
-	if !ok || cs.done {
+	if !ok {
 		return false
 	}
-	cs.done = true
-	c.dropLease(cs)
+	sh := cs.shardByRange(lo, hi)
+	if sh == nil || sh.done {
+		return false
+	}
+	sh.done = true
+	c.dropLease(sh)
 	s.pending--
 	s.wake()
 	return true
+}
+
+// shardByRange finds the cell's shard with exactly the bounds [lo, hi),
+// or nil — boundaries are fixed at Open, so exact match is the contract.
+func (cs *cellState) shardByRange(lo, hi int) *shardState {
+	for i := range cs.shards {
+		if sh := &cs.shards[i]; sh.lo == lo && sh.hi == hi {
+			return sh
+		}
+	}
+	return nil
 }
 
 // Close implements campaign.RemoteSession: the campaign is done (or
@@ -324,7 +411,9 @@ func (s *session) Close() {
 	}
 	s.closed = true
 	for _, cs := range s.cells {
-		c.dropLease(cs)
+		for i := range cs.shards {
+			c.dropLease(&cs.shards[i])
+		}
 	}
 	for i, open := range c.sessions {
 		if open == s {
@@ -334,7 +423,7 @@ func (s *session) Close() {
 		}
 	}
 	s.wake()
-	c.logf("cluster: session %d closed (%d cells still pending)", s.id, s.pending)
+	c.logf("cluster: session %d closed (%d shards still pending)", s.id, s.pending)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -344,7 +433,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // HandleLease serves POST /cluster/lease: the engine-version handshake,
-// then the oldest claimable cell across open sessions.
+// then the oldest claimable shard across open sessions.
 func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -371,44 +460,49 @@ func (c *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 	for _, s := range c.sessions {
 		for _, key := range s.order {
 			cs := s.cells[key]
-			if cs.done || cs.local {
-				continue
+			for i := range cs.shards {
+				sh := &cs.shards[i]
+				if sh.done || sh.local {
+					continue
+				}
+				if sh.leaseID != "" && now.Before(sh.leaseExp) {
+					continue
+				}
+				if sh.leaseID != "" {
+					c.stats.Requeued++
+					cmRequeued.With("expired").Inc()
+					c.dropLease(sh)
+				}
+				c.nextLease++
+				id := fmt.Sprintf("lease-%d", c.nextLease)
+				sh.leaseID, sh.leaseExp = id, now.Add(c.ttl)
+				c.leases[id] = &lease{sess: s, key: key, shard: i, worker: req.Worker}
+				c.stats.LeasesGranted++
+				ws.leasesGranted++
+				job := cs.shardJob(i)
+				name := cs.shardName(sh)
+				c.mu.Unlock()
+				cmLeasesGranted.Inc()
+				c.logf("cluster: leased %s to worker %q (%s, ttl %s)", name, req.Worker, id, c.ttl)
+				writeJSON(w, http.StatusOK, LeaseResponse{LeaseID: id, TTLMilli: c.ttl.Milliseconds(), Job: job})
+				return
 			}
-			if cs.leaseID != "" && now.Before(cs.leaseExp) {
-				continue
-			}
-			if cs.leaseID != "" {
-				c.stats.Requeued++
-				cmRequeued.With("expired").Inc()
-				c.dropLease(cs)
-			}
-			c.nextLease++
-			id := fmt.Sprintf("lease-%d", c.nextLease)
-			cs.leaseID, cs.leaseExp = id, now.Add(c.ttl)
-			c.leases[id] = &lease{sess: s, key: key, worker: req.Worker}
-			c.stats.LeasesGranted++
-			ws.leasesGranted++
-			job := cs.job
-			c.mu.Unlock()
-			cmLeasesGranted.Inc()
-			c.logf("cluster: leased %s to worker %q (%s, ttl %s)", job.Cell, req.Worker, id, c.ttl)
-			writeJSON(w, http.StatusOK, LeaseResponse{LeaseID: id, TTLMilli: c.ttl.Milliseconds(), Job: job})
-			return
 		}
 	}
 	c.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// HandleResults serves POST /cluster/results. A push under the cell's
-// current lease must echo the leased content address; a push whose lease
-// expired or was superseded is still accepted — matched by content
-// address — as long as the cell is incomplete, because a late result of
-// a pure function equals a fresh one (pushes for completed cells are
-// acknowledged and dropped, equally losslessly). Either way the payload
-// must carry exactly the cell's trial count with uniformly labeled
-// measurements; a worker-reported error or an invalid payload re-queues
-// the cell for the local pool or another worker.
+// HandleResults serves POST /cluster/results. A push under the shard's
+// current lease must echo the leased content address and trial range; a
+// push whose lease expired or was superseded is still accepted — matched
+// by (content address, trial range) — as long as the shard is
+// incomplete, because a late result of a pure function equals a fresh
+// one (pushes for completed shards are acknowledged and dropped, equally
+// losslessly). Either way the payload must carry exactly the shard's
+// trial count with uniformly labeled measurements; a worker-reported
+// error or an invalid payload re-queues the shard for the local pool or
+// another worker.
 func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 	var push ResultPush
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&push); err != nil {
@@ -424,10 +518,12 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 	ws := c.seen(push.Worker, "")
 	var s *session
 	var cs *cellState
+	var sh *shardState
 	if l, ok := c.leases[push.LeaseID]; ok {
 		delete(c.leases, push.LeaseID)
 		s, cs = l.sess, l.sess.cells[l.key]
-		cs.leaseID = ""
+		sh = &cs.shards[l.shard]
+		sh.leaseID = ""
 		if push.Key != l.key {
 			c.stats.Requeued++
 			ws.pushesRejected++
@@ -435,26 +531,34 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 			c.mu.Unlock()
 			cmRequeued.With("invalid").Inc()
 			cmPushes.With("false").Inc()
-			c.logf("cluster: re-queued %s from worker %q: content address mismatch (pushed %.12s)", cs.job.Cell, push.Worker, push.Key)
+			c.logf("cluster: re-queued %s from worker %q: content address mismatch (pushed %.12s)", cs.shardName(sh), push.Worker, push.Key)
 			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "content address mismatch"})
 			return
 		}
 	} else {
-		// The lease expired or was superseded — but a cell is a pure
-		// function of its content address, so a late result for a cell
-		// nobody has finished yet is exactly as good as a fresh one.
-		// Accepting it means a worker that outlives its lease (no renewal
-		// protocol) still contributes, and the concurrently stealing
-		// local pool just discards its own duplicate at CompleteLocal.
-		s, cs = c.cellByKey(push.Key)
-		if cs == nil || cs.done {
+		// The lease expired or was superseded — but a shard is a pure
+		// function of its content address and trial range, so a late
+		// result for a shard nobody has finished yet is exactly as good
+		// as a fresh one. Accepting it means a worker that outlives its
+		// lease (no renewal protocol) still contributes, and the
+		// concurrently stealing local pool just discards its own
+		// duplicate at CompleteLocal.
+		var csSess *session
+		csSess, cs = c.cellByKey(push.Key)
+		if cs != nil {
+			pLo, pHi := pushBounds(push, cs.job.Trials)
+			sh = cs.shardByRange(pLo, pHi)
+		}
+		if sh == nil || sh.done {
 			ws.pushesRejected++
 			c.mu.Unlock()
 			cmPushes.With("false").Inc()
-			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "unknown lease and no pending cell with that address"})
+			writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: "unknown lease and no pending shard with that address"})
 			return
 		}
+		s = csSess
 	}
+	name := cs.shardName(sh)
 	requeue := func(metricReason, reason string) {
 		c.stats.Requeued++
 		ws.pushesRejected++
@@ -462,26 +566,35 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 		c.mu.Unlock()
 		cmRequeued.With(metricReason).Inc()
 		cmPushes.With("false").Inc()
-		c.logf("cluster: re-queued %s from worker %q: %s", cs.job.Cell, push.Worker, reason)
+		c.logf("cluster: re-queued %s from worker %q: %s", name, push.Worker, reason)
 		writeJSON(w, http.StatusOK, ResultAck{Accepted: false, Reason: reason})
 	}
+	pLo, pHi := pushBounds(push, cs.job.Trials)
 	switch {
 	case push.Error != "":
 		requeue("error", fmt.Sprintf("worker error: %s", push.Error))
 		return
-	case len(push.Trials) != cs.job.Trials:
-		requeue("invalid", fmt.Sprintf("trial count mismatch: pushed %d, want %d", len(push.Trials), cs.job.Trials))
+	case pLo != sh.lo || pHi != sh.hi:
+		// A pre-sharding worker answering a sharded lease pushes the
+		// whole cell (no bounds echo); normalization turns that into a
+		// range mismatch here — a harmless re-queue, never a splice of
+		// the wrong trials.
+		requeue("invalid", fmt.Sprintf("trial range mismatch: pushed [%d,%d), leased [%d,%d)", pLo, pHi, sh.lo, sh.hi))
+		return
+	case len(push.Trials) != sh.hi-sh.lo:
+		requeue("invalid", fmt.Sprintf("trial count mismatch: pushed %d, want %d", len(push.Trials), sh.hi-sh.lo))
 		return
 	case !uniform || (label != "" && label != cs.job.Cell):
 		requeue("invalid", fmt.Sprintf("measurement cell mismatch: trials not labeled %q", cs.job.Cell))
 		return
 	}
-	cs.done = true
-	c.dropLease(cs) // a late push may complete a cell re-leased to someone else
+	sh.done = true
+	c.dropLease(sh) // a late push may complete a shard re-leased to someone else
 	c.stats.RemoteCells++
 	ws.pushesAccepted++
 	ws.lastPush = c.now()
 	deliver := s.deliver
+	lo, hi := sh.lo, sh.hi
 	c.mu.Unlock()
 	cmPushes.With("true").Inc()
 	cmRemoteCells.Inc()
@@ -490,15 +603,24 @@ func (c *Coordinator) HandleResults(w http.ResponseWriter, r *http.Request) {
 	// Deliver outside the coordinator lock: the campaign splices under
 	// its own mutex and never calls back into the coordinator. At-most-
 	// once is guaranteed by the done flip above; pending is decremented
-	// only after delivery, so the campaign cannot observe "all cells
-	// complete" while this cell's results are still in flight.
-	deliver(push.Key, push.Trials)
+	// only after delivery, so the campaign cannot observe "all shards
+	// complete" while this shard's results are still in flight.
+	deliver(push.Key, lo, hi, push.Trials)
 	c.mu.Lock()
 	s.pending--
 	s.wake()
 	c.mu.Unlock()
-	c.logf("cluster: %s completed by worker %q", cs.job.Cell, push.Worker)
+	c.logf("cluster: %s completed by worker %q", name, push.Worker)
 	writeJSON(w, http.StatusOK, ResultAck{Accepted: true})
+}
+
+// pushBounds normalizes a push's echoed trial range: both zero is the
+// whole-cell encoding (what pre-sharding workers send).
+func pushBounds(push ResultPush, trials int) (lo, hi int) {
+	if push.TrialLo == 0 && push.TrialHi == 0 {
+		return 0, trials
+	}
+	return push.TrialLo, push.TrialHi
 }
 
 // cellByKey finds a still-open session's cell by content address. Must

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -99,6 +100,7 @@ func TestLeaseVersionHandshake(t *testing.T) {
 // remote deliveries.
 type delivery struct {
 	key    string
+	lo, hi int
 	trials [][]campaign.Measurement
 }
 
@@ -110,10 +112,10 @@ func openSession(t *testing.T, c *Coordinator, spec campaign.Spec) (campaign.Rem
 	}
 	var mu sync.Mutex
 	var got []delivery
-	sess := c.Open(jobs, func(key string, trials [][]campaign.Measurement) {
+	sess := c.Open(jobs, func(key string, lo, hi int, trials [][]campaign.Measurement) {
 		mu.Lock()
 		defer mu.Unlock()
-		got = append(got, delivery{key, trials})
+		got = append(got, delivery{key, lo, hi, trials})
 	})
 	return sess, jobs, &got, &mu
 }
@@ -196,7 +198,8 @@ func TestWorkerKillMidCellLocalSteal(t *testing.T) {
 	if waited := time.Since(start); waited < 20*time.Millisecond {
 		t.Fatalf("local steal after %s, want to block until near lease expiry", waited)
 	}
-	if !sess.CompleteLocal(job.Key) {
+	lo, hi := job.ShardBounds()
+	if !sess.CompleteLocal(job.Key, lo, hi) {
 		t.Fatalf("CompleteLocal lost a cell nobody else completed")
 	}
 	// A locally completed cell is never remote-delivered, and the dead
@@ -324,15 +327,28 @@ func killerWorker(url string, max int) {
 }
 
 // TestClusterEndToEndByteIdentity is the acceptance test of the fabric:
-// one coordinator plus two in-process workers (and one cell-abandoning
+// one coordinator plus two in-process workers (and one lease-abandoning
 // killer) produce JSON and JSONL artifacts byte-identical to a purely
 // local run — with the dir cache and a checkpoint enabled, and again
 // when the first clustered run is killed partway and resumed.
 func TestClusterEndToEndByteIdentity(t *testing.T) {
+	clusterEndToEnd(t, Options{LeaseTTL: 80 * time.Millisecond})
+}
+
+// TestShardedClusterEndToEndByteIdentity reruns the full e2e — two
+// workers, a killer that leases shards and dies mid-shard, kill-and-
+// resume with checkpoint and cache — with every cell split into 2-trial
+// shards. The artifacts must still match the purely local run byte for
+// byte: the shard size is pure scheduling.
+func TestShardedClusterEndToEndByteIdentity(t *testing.T) {
+	clusterEndToEnd(t, Options{LeaseTTL: 80 * time.Millisecond, ShardTrials: 2})
+}
+
+func clusterEndToEnd(t *testing.T, opts Options) {
 	spec := testSpec()
 	wantJSON, wantJSONL := localArtifacts(t, spec)
 
-	c := New(Options{LeaseTTL: 80 * time.Millisecond})
+	c := New(opts)
 	srv := httptest.NewServer(c.Handler())
 	defer srv.Close()
 	stop := startWorkers(t, srv.URL, 2)
@@ -651,5 +667,135 @@ func TestLatePushAfterExpiryStillCounts(t *testing.T) {
 	postJSON(t, srv.URL+"/cluster/results", ResultPush{LeaseID: lease.LeaseID, Worker: "slow", Key: lease.Job.Key, Trials: trials}, &ack)
 	if ack.Accepted {
 		t.Fatalf("duplicate late push was accepted")
+	}
+}
+
+// TestShardedLeasesCoverCell: with ShardTrials=2 a 5-trial cell is
+// leased as [0,2), [2,4), [4,5) — three distinct leases whose jobs carry
+// the bounds — and each out-of-order push delivers exactly its range.
+func TestShardedLeasesCoverCell(t *testing.T) {
+	c := New(Options{LeaseTTL: time.Minute, ShardTrials: 2})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	spec := testSpec()
+	spec.Ns, spec.Scenarios = []int{6}, spec.Scenarios[:1] // one cell, 5 trials
+	sess, jobs, got, mu := openSession(t, c, spec)
+	defer sess.Close()
+
+	wantRanges := [][2]int{{0, 2}, {2, 4}, {4, 5}}
+	leases := make([]LeaseResponse, 0, len(wantRanges))
+	for i, want := range wantRanges {
+		var lr LeaseResponse
+		if status := postJSON(t, srv.URL+"/cluster/lease", LeaseRequest{Worker: fmt.Sprintf("w%d", i), Engine: campaign.EngineVersion}, &lr); status != http.StatusOK {
+			t.Fatalf("lease %d: status %d", i, status)
+		}
+		if lo, hi := lr.Job.ShardBounds(); lo != want[0] || hi != want[1] {
+			t.Fatalf("lease %d covers [%d,%d), want [%d,%d)", i, lo, hi, want[0], want[1])
+		}
+		leases = append(leases, lr)
+	}
+	// Every shard is under an active lease: the next request gets 204.
+	if status := postJSON(t, srv.URL+"/cluster/lease", LeaseRequest{Worker: "idle", Engine: campaign.EngineVersion}, nil); status != http.StatusNoContent {
+		t.Fatalf("fourth lease: status %d, want 204", status)
+	}
+	// Push the shards out of order; each delivery carries its own range.
+	for _, i := range []int{2, 0, 1} {
+		lr := leases[i]
+		trials, err := campaign.ExecuteCellJob(context.Background(), lr.Job)
+		if err != nil {
+			t.Fatalf("ExecuteCellJob shard %d: %v", i, err)
+		}
+		var ack ResultAck
+		postJSON(t, srv.URL+"/cluster/results", ResultPush{LeaseID: lr.LeaseID, Worker: "w", Key: lr.Job.Key,
+			TrialLo: lr.Job.TrialLo, TrialHi: lr.Job.TrialHi, Trials: trials}, &ack)
+		if !ack.Accepted {
+			t.Fatalf("shard %d push rejected: %s", i, ack.Reason)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[[2]int]int{}
+	for _, d := range *got {
+		if d.key != jobs[0].Key || len(d.trials) != d.hi-d.lo {
+			t.Fatalf("delivery %+v malformed for %s", d, jobs[0].Cell)
+		}
+		seen[[2]int{d.lo, d.hi}]++
+	}
+	for _, want := range wantRanges {
+		if seen[want] != 1 {
+			t.Fatalf("range %v delivered %d times, want once (deliveries %+v)", want, seen[want], *got)
+		}
+	}
+	if s := c.Stats(); s.LeasesGranted != 3 || s.RemoteCells != 3 || s.Requeued != 0 {
+		t.Fatalf("stats = %+v, want 3 granted and 3 completed shard leases", s)
+	}
+}
+
+// TestShardedWholeCellPushRequeued: a pre-sharding worker answering a
+// sharded lease pushes the whole cell with no bounds echo — the
+// coordinator re-queues the shard instead of splicing the wrong trials,
+// and a bounds-echoing push then completes it with exactly the bytes the
+// whole-cell run produces for that range.
+func TestShardedWholeCellPushRequeued(t *testing.T) {
+	c := New(Options{LeaseTTL: time.Minute, ShardTrials: 3})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	spec := testSpec()
+	spec.Ns, spec.Scenarios = []int{6}, spec.Scenarios[:1] // one cell: shards [0,3), [3,5)
+	sess, jobs, got, mu := openSession(t, c, spec)
+	defer sess.Close()
+
+	var lr LeaseResponse
+	if status := postJSON(t, srv.URL+"/cluster/lease", LeaseRequest{Worker: "old", Engine: campaign.EngineVersion}, &lr); status != http.StatusOK {
+		t.Fatalf("lease: status %d", status)
+	}
+	if lo, hi := lr.Job.ShardBounds(); lo != 0 || hi != 3 {
+		t.Fatalf("lease covers [%d,%d), want [0,3)", lo, hi)
+	}
+	whole, err := campaign.ExecuteCellJob(context.Background(), jobs[0])
+	if err != nil {
+		t.Fatalf("ExecuteCellJob whole cell: %v", err)
+	}
+	var ack ResultAck
+	postJSON(t, srv.URL+"/cluster/results", ResultPush{LeaseID: lr.LeaseID, Worker: "old", Key: lr.Job.Key, Trials: whole}, &ack)
+	if ack.Accepted || !strings.Contains(ack.Reason, "trial range mismatch") {
+		t.Fatalf("whole-cell push against a shard lease: ack %+v, want range-mismatch requeue", ack)
+	}
+
+	// The shard went back in the pool: re-lease and push with bounds.
+	if status := postJSON(t, srv.URL+"/cluster/lease", LeaseRequest{Worker: "new", Engine: campaign.EngineVersion}, &lr); status != http.StatusOK {
+		t.Fatalf("re-lease: status %d", status)
+	}
+	if lo, hi := lr.Job.ShardBounds(); lo != 0 || hi != 3 {
+		t.Fatalf("re-lease covers [%d,%d), want the re-queued [0,3)", lo, hi)
+	}
+	part, err := campaign.ExecuteCellJob(context.Background(), lr.Job)
+	if err != nil {
+		t.Fatalf("ExecuteCellJob shard: %v", err)
+	}
+	postJSON(t, srv.URL+"/cluster/results", ResultPush{LeaseID: lr.LeaseID, Worker: "new", Key: lr.Job.Key,
+		TrialLo: lr.Job.TrialLo, TrialHi: lr.Job.TrialHi, Trials: part}, &ack)
+	if !ack.Accepted {
+		t.Fatalf("shard push rejected: %s", ack.Reason)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || (*got)[0].lo != 0 || (*got)[0].hi != 3 {
+		t.Fatalf("deliveries = %+v, want exactly [0,3)", *got)
+	}
+	// Shard bytes ≡ the whole-cell run's bytes for the same trials.
+	for i, ms := range (*got)[0].trials {
+		if len(ms) != len(whole[i]) {
+			t.Fatalf("shard trial %d carries %d measurements, whole-cell %d", i, len(ms), len(whole[i]))
+		}
+		for j := range ms {
+			if ms[j] != whole[i][j] {
+				t.Fatalf("shard trial %d measurement %d = %+v, whole-cell %+v", i, j, ms[j], whole[i][j])
+			}
+		}
+	}
+	if s := c.Stats(); s.Requeued != 1 || s.RemoteCells != 1 {
+		t.Fatalf("stats = %+v, want 1 requeue and 1 completed shard", s)
 	}
 }

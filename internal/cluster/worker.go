@@ -45,13 +45,13 @@ type WorkerOptions struct {
 const maxTransportFailures = 5
 
 // RunWorker joins the coordinator at base (e.g. "http://host:8080") and
-// executes leased cells until ctx is done: lease, execute on the arena
+// executes leased shards until ctx is done: lease, execute on the arena
 // pipeline, push the per-trial measurements keyed by the cell's content
-// address, repeat. A cell whose execution fails is reported so the
-// coordinator re-queues it — workers never push partial cells, which is
-// one half of the byte-identity argument (the other half is the
-// engine-version handshake, which makes a mismatched worker exit with an
-// error here). Returns nil on cancellation.
+// address and trial range, repeat. A shard whose execution fails is
+// reported so the coordinator re-queues it — workers never push partial
+// shards, which is one half of the byte-identity argument (the other
+// half is the engine-version handshake, which makes a mismatched worker
+// exit with an error here). Returns nil on cancellation.
 func RunWorker(ctx context.Context, base string, opts WorkerOptions) error {
 	base = strings.TrimRight(base, "/")
 	if !strings.Contains(base, "://") {
@@ -128,14 +128,19 @@ func RunWorker(ctx context.Context, base string, opts WorkerOptions) error {
 		}
 
 		job := lease.resp.Job
-		logf("cluster: worker %s executing %s (%d trials)", id, job.Cell, job.Trials)
+		lo, hi := job.ShardBounds()
+		logf("cluster: worker %s executing %s (trials [%d:%d) of %d)", id, job.Cell, lo, hi, job.Trials)
 		trials, execErr := campaign.ExecuteCellJob(ctx, job)
 		if execErr != nil && ctx.Err() != nil {
-			// Cancelled mid-cell: stop without pushing; the lease expires
-			// and the cell is re-issued or stolen locally.
+			// Cancelled mid-shard: stop without pushing; the lease expires
+			// and the shard is re-issued or stolen locally.
 			return nil
 		}
-		push := ResultPush{LeaseID: lease.resp.LeaseID, Worker: id, Key: job.Key}
+		// Echo the lease's raw bounds: the coordinator normalizes the
+		// (0, 0) whole-cell encoding on its side, so a whole-cell push
+		// stays byte-compatible with pre-sharding coordinators.
+		push := ResultPush{LeaseID: lease.resp.LeaseID, Worker: id, Key: job.Key,
+			TrialLo: job.TrialLo, TrialHi: job.TrialHi}
 		if execErr != nil {
 			push.Error = execErr.Error()
 		} else {

@@ -53,18 +53,23 @@ type View interface {
 }
 
 // Engine is the column-oriented simulation state. Create with NewEngine.
+//
+// All n heard rows live in one contiguous bitset.Block (row y = K_y), so a
+// round is a flat sweep of word-level OR kernels over packed storage; the
+// heard slice holds per-row Set views aliasing the block, serving the View
+// interface without copying (DESIGN.md §3g).
 type Engine struct {
 	n     int
 	round int
-	heard []*bitset.Set // heard[y] = K_y
+	block *bitset.Block // n×n packed rows: row y = K_y
+	heard []*bitset.Set // heard[y] aliases block row y
 	inter *bitset.Set   // ⋂_y K_y, maintained per round
-	// order, depth, counts, and starts are scratch for the deepest-first
-	// application order (a counting sort by depth), reused across rounds so
-	// Step allocates nothing.
-	order  []int
-	depth  []int
-	counts []int
-	starts []int
+	ord   tree.DepthOrder
+	// fullPrefix is the count of leading rows known full. Rows only gain
+	// bits, so fullness is monotone and the cursor never moves back; it
+	// amortizes the GossipDone scan and short-circuits the intersection
+	// recomputation once the state saturates.
+	fullPrefix int
 }
 
 var _ View = (*Engine)(nil)
@@ -76,17 +81,14 @@ func NewEngine(n int) *Engine {
 		panic(fmt.Sprintf("core: NewEngine needs n >= 1, got %d", n))
 	}
 	e := &Engine{
-		n:      n,
-		heard:  make([]*bitset.Set, n),
-		inter:  bitset.New(n),
-		order:  make([]int, n),
-		depth:  make([]int, n),
-		counts: make([]int, n),
-		starts: make([]int, n),
+		n:     n,
+		block: bitset.NewBlock(n, n),
+		heard: make([]*bitset.Set, n),
+		inter: bitset.New(n),
 	}
+	e.block.SetDiagonal()
 	for y := 0; y < n; y++ {
-		e.heard[y] = bitset.New(n)
-		e.heard[y].Set(y)
+		e.heard[y] = e.block.RowSet(y)
 	}
 	if n == 1 {
 		e.inter.Set(0) // the sole process has trivially broadcast
@@ -108,10 +110,9 @@ func (e *Engine) Reset(n int) {
 		return
 	}
 	e.round = 0
-	for y := 0; y < n; y++ {
-		e.heard[y].Reset()
-		e.heard[y].Set(y)
-	}
+	e.fullPrefix = 0
+	e.block.Zero()
+	e.block.SetDiagonal()
 	e.inter.Reset()
 	if n == 1 {
 		e.inter.Set(0)
@@ -122,17 +123,15 @@ func (e *Engine) Reset(n int) {
 // adversaries that explore alternative futures.
 func (e *Engine) Clone() *Engine {
 	c := &Engine{
-		n:      e.n,
-		round:  e.round,
-		heard:  make([]*bitset.Set, e.n),
-		inter:  e.inter.Clone(),
-		order:  make([]int, e.n),
-		depth:  make([]int, e.n),
-		counts: make([]int, e.n),
-		starts: make([]int, e.n),
+		n:          e.n,
+		round:      e.round,
+		block:      e.block.Clone(),
+		heard:      make([]*bitset.Set, e.n),
+		inter:      e.inter.Clone(),
+		fullPrefix: e.fullPrefix,
 	}
-	for y, k := range e.heard {
-		c.heard[y] = k.Clone()
+	for y := range c.heard {
+		c.heard[y] = c.block.RowSet(y)
 	}
 	return c
 }
@@ -152,14 +151,18 @@ func (e *Engine) Broadcasters() *bitset.Set { return e.inter }
 // BroadcastDone reports whether some process's value has reached everyone.
 func (e *Engine) BroadcastDone() bool { return !e.inter.Empty() }
 
-// GossipDone reports whether every process has heard every value.
+// GossipDone reports whether every process has heard every value. The
+// fullPrefix cursor makes the scan amortized O(n) words over a whole run:
+// rows already known full are never re-checked.
 func (e *Engine) GossipDone() bool {
-	for _, k := range e.heard {
-		if !k.Full() {
-			return false
-		}
+	e.advanceFullPrefix()
+	return e.fullPrefix == e.n
+}
+
+func (e *Engine) advanceFullPrefix() {
+	for e.fullPrefix < e.n && e.block.RowFull(e.fullPrefix) {
+		e.fullPrefix++
 	}
-	return true
 }
 
 // Step applies one synchronous round along t. Every non-root process y
@@ -170,81 +173,33 @@ func (e *Engine) Step(t *tree.Tree) {
 		panic(fmt.Sprintf("core: tree on %d vertices for engine of %d processes", t.N(), e.n))
 	}
 	parents := t.Parents()
-	e.fillDeepestFirst(parents)
-	// Applying deepest-first guarantees each K_parent read is the
-	// pre-round value: a node is always processed before its parent, so no
-	// set is read after being written this round. This keeps the update
-	// single-hop per round (no intra-round cascade) without double
+	// Applying in child-before-parent order guarantees each K_parent read
+	// is the pre-round value: a node is always processed before its parent,
+	// so no row is read after being written this round. This keeps the
+	// update single-hop per round (no intra-round cascade) without double
 	// buffering.
-	for _, y := range e.order {
-		if p := parents[y]; p != y {
-			e.heard[y].Union(e.heard[p])
+	order := e.ord.Fill(parents)
+	stride := e.block.Stride()
+	words := e.block.Words()
+	for _, y := range order {
+		p := parents[y]
+		if p == y {
+			continue
 		}
+		bitset.OrWords(words[y*stride:(y+1)*stride], words[p*stride:(p+1)*stride])
 	}
 	e.round++
 	e.recomputeIntersection()
 }
 
-// fillDeepestFirst writes into e.order a permutation of [0,n) in which
-// every vertex precedes its parent (decreasing depth).
-func (e *Engine) fillDeepestFirst(parents []int) {
-	n := e.n
-	maxDepth := 0
-	for v := 0; v < n; v++ {
-		e.depth[v] = -1
-	}
-	for v := 0; v < n; v++ {
-		// Walk up to a vertex of known depth, then unwind.
-		d := 0
-		u := v
-		for e.depth[u] < 0 && parents[u] != u {
-			u = parents[u]
-			d++
-		}
-		base := 0
-		if e.depth[u] >= 0 {
-			base = e.depth[u]
-		}
-		// Second walk assigns depths.
-		total := base + d
-		u = v
-		dd := total
-		for e.depth[u] < 0 {
-			e.depth[u] = dd
-			dd--
-			if parents[u] == u {
-				break
-			}
-			u = parents[u]
-		}
-		if total > maxDepth {
-			maxDepth = total
-		}
-	}
-	// Counting sort by decreasing depth, into the engine's reusable
-	// scratch (maxDepth < n, so the n-sized buffers always suffice).
-	counts, starts := e.counts[:maxDepth+1], e.starts[:maxDepth+1]
-	for d := range counts {
-		counts[d] = 0
-	}
-	for v := 0; v < n; v++ {
-		counts[e.depth[v]]++
-	}
-	// Prefix sums so that larger depths come first.
-	idx := 0
-	for d := maxDepth; d >= 0; d-- {
-		starts[d] = idx
-		idx += counts[d]
-	}
-	for v := 0; v < n; v++ {
-		d := e.depth[v]
-		e.order[starts[d]] = v
-		starts[d]++
-	}
-}
-
 func (e *Engine) recomputeIntersection() {
+	// Saturation fast path: once every row is full (gossip complete) the
+	// intersection is all of [n] and can only stay that way.
+	e.advanceFullPrefix()
 	e.inter.Fill()
+	if e.fullPrefix == e.n {
+		return
+	}
 	for _, k := range e.heard {
 		e.inter.Intersect(k)
 		if e.inter.Empty() {

@@ -342,15 +342,16 @@ func TestGoalString(t *testing.T) {
 }
 
 func TestDeepestFirstOrderProperty(t *testing.T) {
-	// Every vertex must appear before its parent in e.order.
+	// Every vertex must appear before its parent in the application order
+	// Step uses (the engine's tree.DepthOrder scratch).
 	f := func(seed uint64) bool {
 		src := rng.New(seed)
 		n := 2 + src.Intn(30)
 		e := NewEngine(n)
 		tr := tree.Random(n, src)
-		e.fillDeepestFirst(tr.Parents())
+		order := e.ord.Fill(tr.Parents())
 		pos := make([]int, n)
-		for i, v := range e.order {
+		for i, v := range order {
 			pos[v] = i
 		}
 		for v := 0; v < n; v++ {
@@ -379,6 +380,7 @@ func BenchmarkEngineStep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e.Step(trees[i%len(trees)])
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
 		})
 	}
 }
@@ -397,6 +399,7 @@ func BenchmarkMatrixEngineStep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e.Step(trees[i%len(trees)])
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
 		})
 	}
 }
