@@ -27,6 +27,16 @@
 // unleased and abandoned cells fall back to the coordinator's local pool
 // (see DESIGN.md §3e).
 //
+// With -store the daemon keeps a results warehouse (DESIGN.md §3h):
+// campaigns cache their cells into it, finished runs are auto-ingested
+// under their run ids, and the /results endpoints serve paginated
+// queries, content-address diffs, and bound curves across every campaign
+// ever ingested — including earlier daemon lifetimes. -store-budget
+// bounds the warehouse's cell bytes with an LRU GC (-store-gc-interval
+// paced), and -store-pin exempts named campaigns from eviction:
+//
+//	campaignd -store ./warehouse -store-budget 1073741824 -store-pin baseline
+//
 // Observability (README.md "Monitoring a fleet"): the daemon serves a
 // Prometheus text scrape on GET /metrics and an embedded live dashboard
 // on GET /. A worker has no server of its own, so -metrics ADDR brings
@@ -53,6 +63,7 @@ import (
 	"dyntreecast/internal/cluster"
 	"dyntreecast/internal/metrics"
 	"dyntreecast/internal/server"
+	"dyntreecast/internal/store"
 )
 
 func main() {
@@ -70,6 +81,10 @@ type options struct {
 	batch         int
 	checkpointDir string
 	cacheDir      string
+	storeDir      string
+	storeBudget   int64
+	storeGCEvery  time.Duration
+	storePin      string
 	drainTimeout  time.Duration
 	cluster       bool
 	leaseTTL      time.Duration
@@ -88,6 +103,10 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.batch, "batch", 0, "trials per scheduled cell batch (0 = whole cell); artifacts are identical for every value")
 	fs.StringVar(&o.checkpointDir, "checkpoint-dir", "", "checkpoint campaigns to this directory (enables resume)")
 	fs.StringVar(&o.cacheDir, "cache", "", "content-addressed cell cache directory shared across campaigns")
+	fs.StringVar(&o.storeDir, "store", "", "results warehouse directory: campaigns cache cells into it, finished runs are ingested, and the /results query endpoints come up (subsumes -cache)")
+	fs.Int64Var(&o.storeBudget, "store-budget", 0, "cell-byte retention budget for -store; the LRU GC keeps the warehouse under this many bytes (0 = unlimited, no GC)")
+	fs.DurationVar(&o.storeGCEvery, "store-gc-interval", 5*time.Minute, "how often the -store-budget GC runs (with -store-budget)")
+	fs.StringVar(&o.storePin, "store-pin", "", "comma-separated campaign ids to pin: their cells are exempt from -store-budget eviction (with -store)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget")
 	fs.BoolVar(&o.cluster, "cluster", false, "serve /cluster endpoints and let remote workers lease campaign cells")
 	fs.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultLeaseTTL, "cell lease lifetime before re-issue (with -cluster)")
@@ -119,6 +138,23 @@ func parseFlags(args []string) (options, error) {
 	if o.shardTrials < 0 {
 		return options{}, fmt.Errorf("-shard-trials must be >= 0")
 	}
+	if o.storeDir != "" && o.cacheDir != "" {
+		return options{}, fmt.Errorf("-store subsumes -cache (the warehouse IS the cell cache); pass one or the other")
+	}
+	if o.storeDir == "" {
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "store-budget" || f.Name == "store-gc-interval" || f.Name == "store-pin" {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return options{}, fmt.Errorf("%s is only meaningful with -store", strings.Join(set, ", "))
+		}
+	}
+	if o.storeBudget < 0 {
+		return options{}, fmt.Errorf("-store-budget must be >= 0")
+	}
 	if !o.worker && o.join != "" {
 		return options{}, fmt.Errorf("-join is only meaningful with -worker")
 	}
@@ -140,26 +176,47 @@ func parseFlags(args []string) (options, error) {
 	return o, nil
 }
 
-// build turns parsed options into a campaign server (creating cache and
-// checkpoint directories as needed).
-func build(o options, logf func(string, ...any)) (*server.Server, error) {
+// build turns parsed options into a campaign server (creating cache,
+// checkpoint, and warehouse directories as needed). The returned store
+// is non-nil exactly when -store is set; run starts its retention GC.
+func build(o options, logf func(string, ...any)) (*server.Server, *store.Store, error) {
 	opts := server.Options{Workers: o.workers, Batch: o.batch, CheckpointDir: o.checkpointDir, Logf: logf}
 	if o.cluster {
 		opts.Cluster = cluster.New(cluster.Options{LeaseTTL: o.leaseTTL, ShardTrials: o.shardTrials, Logf: logf})
 	}
 	if o.checkpointDir != "" {
 		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
-			return nil, fmt.Errorf("creating -checkpoint-dir: %w", err)
+			return nil, nil, fmt.Errorf("creating -checkpoint-dir: %w", err)
 		}
 	}
 	if o.cacheDir != "" {
 		c, err := cache.NewDir(o.cacheDir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		opts.Cache = cache.Instrument("dir", c)
 	}
-	return server.New(opts), nil
+	var st *store.Store
+	if o.storeDir != "" {
+		var err error
+		st, err = store.Open(o.storeDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range strings.Split(o.storePin, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				if err := st.Pin(id, true); err != nil {
+					return nil, nil, fmt.Errorf("-store-pin: %w", err)
+				}
+			}
+		}
+		opts.Store = st
+		// The warehouse doubles as the campaign cell cache: every run's
+		// cells land in the GC'd area, and ingested rows point at the
+		// exact bytes the run produced.
+		opts.Cache = cache.Instrument("store", st.Cache())
+	}
+	return server.New(opts), st, nil
 }
 
 // serveMetrics starts the auxiliary /metrics listener (-metrics). The
@@ -207,9 +264,14 @@ func run(args []string) error {
 		}
 		return err
 	}
-	srv, err := build(o, logger.Printf)
+	srv, st, err := build(o, logger.Printf)
 	if err != nil {
 		return err
+	}
+	stopGC := func() {}
+	if st != nil && o.storeBudget > 0 {
+		stopGC = st.StartGC(o.storeGCEvery, o.storeBudget, logger.Printf)
+		logger.Printf("results store %s: %d-byte budget, gc every %s", o.storeDir, o.storeBudget, o.storeGCEvery)
 	}
 
 	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
@@ -240,6 +302,10 @@ func run(args []string) error {
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("http shutdown: %v", err)
 	}
+	// After the engine and listener are quiet: stop the retention ticker
+	// last so a final pass can reclaim what the drain produced. StartGC's
+	// stop blocks until the goroutine is gone — nothing leaks past here.
+	stopGC()
 	logger.Printf("bye")
 	return nil
 }

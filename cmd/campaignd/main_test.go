@@ -50,12 +50,15 @@ func TestBuildCreatesDirs(t *testing.T) {
 		checkpointDir: filepath.Join(dir, "ckpt"),
 		cacheDir:      filepath.Join(dir, "cells"),
 	}
-	srv, err := build(o, nil)
+	srv, st, err := build(o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if srv == nil {
 		t.Fatal("nil server")
+	}
+	if st != nil {
+		t.Fatal("store built without -store")
 	}
 	for _, d := range []string{o.checkpointDir, o.cacheDir} {
 		if st, err := os.Stat(d); err != nil || !st.IsDir() {
@@ -90,7 +93,7 @@ func TestParseFlagsClusterAndWorker(t *testing.T) {
 }
 
 func TestBuildClusterMountsEndpoints(t *testing.T) {
-	srv, err := build(options{cluster: true, leaseTTL: time.Minute}, nil)
+	srv, _, err := build(options{cluster: true, leaseTTL: time.Minute}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,5 +140,52 @@ func TestShardTrialsRequiresCluster(t *testing.T) {
 	}
 	if o.shardTrials != 4 {
 		t.Errorf("shardTrials = %d, want 4", o.shardTrials)
+	}
+}
+
+func TestParseFlagsStore(t *testing.T) {
+	o, err := parseFlags([]string{"-store", "wh", "-store-budget", "4096", "-store-gc-interval", "10s", "-store-pin", "base, other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.storeDir != "wh" || o.storeBudget != 4096 || o.storeGCEvery != 10*time.Second || o.storePin != "base, other" {
+		t.Errorf("store options wrong: %+v", o)
+	}
+	// The warehouse IS the cell cache: both at once is a configuration
+	// error, and budget/pins without a store are dead flags.
+	for _, args := range [][]string{
+		{"-store", "wh", "-cache", "cc"},
+		{"-store-budget", "4096"},
+		{"-store-gc-interval", "10s"},
+		{"-store-pin", "base"},
+		{"-store", "wh", "-store-budget", "-1"},
+		{"-worker", "-join", "http://c:8080", "-store", "wh"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) succeeded", args)
+		}
+	}
+}
+
+func TestBuildStoreMountsResultsAndPins(t *testing.T) {
+	dir := t.TempDir()
+	srv, st, err := build(options{storeDir: filepath.Join(dir, "wh"), storePin: "baseline, nightly"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("nil store with -store set")
+	}
+	if got := st.Pins(); len(got) != 2 || got[0] != "baseline" || got[1] != "nightly" {
+		t.Errorf("pins = %v", got)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/results", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("GET /results on a -store daemon: %d", rec.Code)
+	}
+	// A bad pin id surfaces at build time.
+	if _, _, err := build(options{storeDir: filepath.Join(dir, "wh2"), storePin: "../evil"}, nil); err == nil {
+		t.Error("build accepted a traversal pin id")
 	}
 }

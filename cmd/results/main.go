@@ -1,0 +1,303 @@
+// Command results queries the results warehouse of a running campaignd
+// (started with -store) over its GET /results endpoints and renders the
+// answer as a table, CSV, or raw JSON. It is the command-line companion
+// to the dashboard's results tab: the same filters, the same paginated
+// walk, scriptable.
+//
+// The default mode lists warehouse rows, following pagination cursors
+// until the result set is exhausted:
+//
+//	results -addr http://localhost:8080
+//	results -campaign c0001-ab12cd34 -format csv
+//	results -adversary k-leaves -nmin 32 -nmax 128 -goal broadcast
+//
+// Three flag-selected modes answer the cross-campaign questions:
+//
+//	results -campaigns                    # ingested campaigns with cell counts and pins
+//	results -diff c0001-ab12cd34,c0002-ab12cd34   # content-address diff; identical cells elide
+//	results -curves -adversary random-tree        # measured bound curves + exact gamesolver values
+//
+// -format json emits the server's response verbatim (rows mode emits the
+// concatenation of all pages' rows as one array), so the CLI composes
+// with jq without any schema of its own.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"dyntreecast/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "results:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("results", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "http://localhost:8080", "campaignd base URL (daemon must run with -store)")
+		campaign  = fs.String("campaign", "", "filter: exact campaign id")
+		adversary = fs.String("adversary", "", "filter: scenario family name")
+		goal      = fs.String("goal", "", "filter: broadcast or gossip")
+		n         = fs.Int("n", 0, "filter: exact n (0 = any)")
+		nmin      = fs.Int("nmin", 0, "filter: inclusive lower bound on n")
+		nmax      = fs.Int("nmax", 0, "filter: inclusive upper bound on n")
+		limit     = fs.Int("limit", 0, "page size per request (0 = server default; the walk still fetches every page)")
+		format    = fs.String("format", "table", "output: table, csv, json")
+		campaigns = fs.Bool("campaigns", false, "list ingested campaigns instead of rows")
+		diff      = fs.String("diff", "", "diff two campaigns: comma-separated pair of ids")
+		curves    = fs.Bool("curves", false, "emit bound curves (measured vs exact) instead of rows")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, json)", *format)
+	}
+	modes := 0
+	for _, on := range []bool{*campaigns, *diff != "", *curves} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-campaigns, -diff and -curves are mutually exclusive")
+	}
+	c := client{base: strings.TrimRight(*addr, "/")}
+
+	switch {
+	case *campaigns:
+		return c.campaigns(stdout, *format)
+	case *diff != "":
+		a, b, ok := strings.Cut(*diff, ",")
+		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+		if !ok || a == "" || b == "" {
+			return fmt.Errorf("-diff wants two comma-separated campaign ids")
+		}
+		return c.diff(stdout, *format, a, b)
+	case *curves:
+		return c.curves(stdout, *format, *adversary, *goal, *campaign)
+	}
+
+	q := url.Values{}
+	for _, p := range []struct{ k, v string }{
+		{"campaign", *campaign}, {"adversary", *adversary}, {"goal", *goal},
+	} {
+		if p.v != "" {
+			q.Set(p.k, p.v)
+		}
+	}
+	for _, p := range []struct {
+		k string
+		v int
+	}{{"n", *n}, {"nmin", *nmin}, {"nmax", *nmax}, {"limit", *limit}} {
+		if p.v != 0 {
+			q.Set(p.k, strconv.Itoa(p.v))
+		}
+	}
+	return c.rows(stdout, *format, q)
+}
+
+// client is a thin JSON client over the warehouse endpoints.
+type client struct{ base string }
+
+// get decodes one endpoint response into v, turning the daemon's error
+// envelope into a CLI error.
+func (c client) get(path string, q url.Values, v any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, envelope.Error)
+		}
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// rows walks every page of GET /results matching q and renders the
+// concatenated rows.
+func (c client) rows(w io.Writer, format string, q url.Values) error {
+	var rows []store.Row
+	for {
+		var page store.Page
+		if err := c.get("/results", q, &page); err != nil {
+			return err
+		}
+		rows = append(rows, page.Rows...)
+		if page.NextCursor == "" {
+			break
+		}
+		q.Set("cursor", page.NextCursor)
+	}
+	if format == "json" {
+		return writeJSON(w, rows)
+	}
+	header := []string{"campaign", "cell", "n", "goal", "trials", "mean", "stddev", "min", "max", "p50", "p99"}
+	records := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		records = append(records, []string{
+			r.Campaign, r.Cell, strconv.Itoa(r.N), r.Goal, strconv.Itoa(r.Trials),
+			f1(r.Mean), f1(r.StdDev), f1(r.Min), f1(r.Max), f1(r.P50), f1(r.P99),
+		})
+	}
+	return writeRecords(w, format, header, records)
+}
+
+func (c client) campaigns(w io.Writer, format string) error {
+	var infos []store.CampaignInfo
+	if err := c.get("/results/campaigns", nil, &infos); err != nil {
+		return err
+	}
+	if format == "json" {
+		return writeJSON(w, infos)
+	}
+	header := []string{"id", "source", "goal", "cells", "trials", "pinned", "engine"}
+	records := make([][]string, 0, len(infos))
+	for _, ci := range infos {
+		records = append(records, []string{
+			ci.ID, ci.Source, ci.Goal, strconv.Itoa(ci.Cells), strconv.Itoa(ci.Trials),
+			strconv.FormatBool(ci.Pinned), ci.Engine,
+		})
+	}
+	return writeRecords(w, format, header, records)
+}
+
+func (c client) diff(w io.Writer, format, a, b string) error {
+	var d store.DiffResult
+	if err := c.get("/results/diff", url.Values{"a": {a}, "b": {b}}, &d); err != nil {
+		return err
+	}
+	if format == "json" {
+		return writeJSON(w, d)
+	}
+	header := []string{"status", "cell", "mean_a", "mean_b", "trials_a", "trials_b"}
+	records := make([][]string, 0, len(d.Entries))
+	side := func(r *store.Row, f func(store.Row) string) string {
+		if r == nil {
+			return "-"
+		}
+		return f(*r)
+	}
+	for _, e := range d.Entries {
+		records = append(records, []string{
+			e.Status, e.Cell,
+			side(e.A, func(r store.Row) string { return f1(r.Mean) }),
+			side(e.B, func(r store.Row) string { return f1(r.Mean) }),
+			side(e.A, func(r store.Row) string { return strconv.Itoa(r.Trials) }),
+			side(e.B, func(r store.Row) string { return strconv.Itoa(r.Trials) }),
+		})
+	}
+	if err := writeRecords(w, format, header, records); err != nil {
+		return err
+	}
+	if format == "table" {
+		fmt.Fprintf(w, "%d differing, %d identical (%s vs %s)\n", len(d.Entries), d.Identical, d.A, d.B)
+	}
+	return nil
+}
+
+func (c client) curves(w io.Writer, format, adversary, goal, campaign string) error {
+	q := url.Values{}
+	for _, p := range []struct{ k, v string }{
+		{"adversary", adversary}, {"goal", goal}, {"campaign", campaign},
+	} {
+		if p.v != "" {
+			q.Set(p.k, p.v)
+		}
+	}
+	var curves []store.Curve
+	if err := c.get("/results/curves", q, &curves); err != nil {
+		return err
+	}
+	if format == "json" {
+		return writeJSON(w, curves)
+	}
+	// One record per (curve point, campaign): flat enough for CSV and for
+	// reading a single curve top to bottom in the table.
+	header := []string{"scenario", "goal", "n", "campaign", "mean", "max", "trials", "exact"}
+	var records [][]string
+	for _, cu := range curves {
+		for _, p := range cu.Points {
+			exact := "-"
+			if p.Exact != nil {
+				exact = strconv.Itoa(*p.Exact)
+			}
+			ids := make([]string, 0, len(p.Measured))
+			for id := range p.Measured {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				m := p.Measured[id]
+				records = append(records, []string{
+					cu.Scenario, cu.Goal, strconv.Itoa(p.N), id,
+					f1(m.Mean), f1(m.Max), strconv.Itoa(m.Trials), exact,
+				})
+			}
+		}
+	}
+	return writeRecords(w, format, header, records)
+}
+
+// writeRecords renders a header + records either as an aligned text
+// table or as CSV.
+func writeRecords(w io.Writer, format string, header []string, records [][]string) error {
+	if format == "csv" {
+		cw := csv.NewWriter(w)
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		if err := cw.WriteAll(records); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.ToUpper(strings.Join(header, "\t")))
+	for _, rec := range records {
+		fmt.Fprintln(tw, strings.Join(rec, "\t"))
+	}
+	return tw.Flush()
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// f1 renders a stat with one decimal, the same precision the campaign
+// table uses.
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }

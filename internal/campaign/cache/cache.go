@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Cache stores opaque entries under content-derived keys. Get reports a
@@ -30,6 +31,16 @@ import (
 type Cache interface {
 	Get(key string) (data []byte, ok bool, err error)
 	Put(key string, data []byte) error
+}
+
+// Deleter is the optional eviction side of a Cache. The campaign layer
+// uses it to heal corruption — a cell entry that fails to decode is
+// deleted so the backend stops serving the bad bytes — and the results
+// warehouse (internal/store) uses it for retention GC. Deleting a
+// missing key is not an error: a delete is a statement that the entry
+// must not exist, not that it did.
+type Deleter interface {
+	Delete(key string) error
 }
 
 // Memory is an in-process Cache backed by a map.
@@ -63,6 +74,14 @@ func (c *Memory) Put(key string, data []byte) error {
 	stored := make([]byte, len(data))
 	copy(stored, data)
 	c.m[key] = stored
+	return nil
+}
+
+// Delete removes the entry stored under key, if any.
+func (c *Memory) Delete(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, key)
 	return nil
 }
 
@@ -129,6 +148,36 @@ func (c *Dir) Get(key string) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("cache: reading %s: %w", key, err)
 	}
 	return data, true, nil
+}
+
+// Delete removes the entry stored under key. A missing entry is not an
+// error, so concurrent deleters (a GC sweep racing a corruption heal)
+// both succeed.
+func (c *Dir) Delete(key string) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: deleting %s: %w", key, err)
+	}
+	return nil
+}
+
+// Touch marks the entry as recently used by bumping its mtime — the LRU
+// signal the results warehouse's retention GC (internal/store) sorts
+// evictions by. A missing entry is ignored: a concurrent eviction
+// between Get and Touch is indistinguishable from a miss.
+func (c *Dir) Touch(key string) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	if err := os.Chtimes(p, now, now); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: touching %s: %w", key, err)
+	}
+	return nil
 }
 
 // Put stores data under key atomically.

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 const key1 = "0123456789abcdef0123456789abcdef"
@@ -151,3 +152,105 @@ func TestMemoryLenAndDirRoot(t *testing.T) {
 		t.Errorf("Root() = %q, want %q", d.Root(), root)
 	}
 }
+
+func TestDeleteRemovesEntries(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			d, ok := c.(Deleter)
+			if !ok {
+				t.Fatalf("%s backend does not implement Deleter", name)
+			}
+			// Deleting a missing key is a no-op, not an error.
+			if err := d.Delete(key1); err != nil {
+				t.Fatalf("deleting absent key: %v", err)
+			}
+			if err := c.Put(key1, []byte("data")); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Delete(key1); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := c.Get(key1); ok || err != nil {
+				t.Fatalf("entry survived delete: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+func TestDirDeleteAndTouchRejectBadKeys(t *testing.T) {
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Delete("../escape"); err == nil {
+		t.Error("Delete accepted a non-digest key")
+	}
+	if err := dir.Touch("../escape"); err == nil {
+		t.Error("Touch accepted a non-digest key")
+	}
+}
+
+func TestDirTouchBumpsMtime(t *testing.T) {
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touching a missing entry is a no-op (a concurrent eviction must not
+	// turn a read hit into an error).
+	if err := dir.Touch(key1); err != nil {
+		t.Fatalf("touching absent key: %v", err)
+	}
+	if err := dir.Put(key1, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir.Root(), key1[:2], key1)
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(p, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Touch(key1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModTime().After(old.Add(30 * time.Minute)) {
+		t.Errorf("mtime not bumped: %v", st.ModTime())
+	}
+}
+
+func TestInstrumentForwardsDelete(t *testing.T) {
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Instrument("delete-test", dir)
+	d, ok := wrapped.(Deleter)
+	if !ok {
+		t.Fatal("instrumented cache lost the Deleter capability")
+	}
+	if err := wrapped.Put(key1, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(key1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := dir.Get(key1); ok {
+		t.Error("delete did not reach the wrapped backend")
+	}
+	if got := mDeletes.With("delete-test").Value(); got != 1 {
+		t.Errorf("campaign_cache_deletes_total = %d, want 1", got)
+	}
+	// A Deleter-less backend stays delete-less but does not error.
+	plain := Instrument("delete-test-mem", deleteless{NewMemory()})
+	if err := plain.(Deleter).Delete(key1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deleteless hides Memory's Delete to model a backend without one.
+type deleteless struct{ inner *Memory }
+
+func (d deleteless) Get(key string) ([]byte, bool, error) { return d.inner.Get(key) }
+func (d deleteless) Put(key string, data []byte) error    { return d.inner.Put(key, data) }

@@ -14,12 +14,14 @@ var (
 		"Cell-cache stores by backend.", "backend")
 	mErrors = metrics.Default.CounterVec("campaign_cache_errors_total",
 		"Cell-cache backend failures (Get or Put) by backend.", "backend")
+	mDeletes = metrics.Default.CounterVec("campaign_cache_deletes_total",
+		"Cell-cache evictions (corruption heals and GC) by backend.", "backend")
 )
 
 // counting is the instrumented decorator around a Cache.
 type counting struct {
-	inner                    Cache
-	hits, misses, puts, errs *metrics.Counter
+	inner                             Cache
+	hits, misses, puts, errs, deletes *metrics.Counter
 }
 
 // Instrument wraps c so every Get is counted as a hit or miss and every
@@ -29,11 +31,12 @@ type counting struct {
 // to the campaign layer — artifacts cannot change.
 func Instrument(backend string, c Cache) Cache {
 	return &counting{
-		inner:  c,
-		hits:   mRequests.With(backend, "hit"),
-		misses: mRequests.With(backend, "miss"),
-		puts:   mPuts.With(backend),
-		errs:   mErrors.With(backend),
+		inner:   c,
+		hits:    mRequests.With(backend, "hit"),
+		misses:  mRequests.With(backend, "miss"),
+		puts:    mPuts.With(backend),
+		errs:    mErrors.With(backend),
+		deletes: mDeletes.With(backend),
 	}
 }
 
@@ -58,6 +61,24 @@ func (c *counting) Put(key string, data []byte) error {
 		c.errs.Inc()
 	} else {
 		c.puts.Inc()
+	}
+	return err
+}
+
+// Delete counts the eviction and delegates when the wrapped backend
+// supports deletion; wrapping must not add capabilities, so a
+// delete-less backend stays delete-less (silently, matching the
+// campaign layer's best-effort corruption heal).
+func (c *counting) Delete(key string) error {
+	d, ok := c.inner.(Deleter)
+	if !ok {
+		return nil
+	}
+	err := d.Delete(key)
+	if err != nil {
+		c.errs.Inc()
+	} else {
+		c.deletes.Inc()
 	}
 	return err
 }

@@ -145,6 +145,72 @@ func TestCacheIgnoresCorruptEntries(t *testing.T) {
 	}
 }
 
+// TestCacheDeletesTruncatedDirEntries is the dir-backend robustness
+// regression: a hand-truncated cell file (disk corruption, a partial
+// copy) is treated as a miss AND deleted on detection — the campaign
+// completes with a byte-identical artifact and the bad file never
+// lingers to be served to a non-writing reader.
+func TestCacheDeletesTruncatedDirEntries(t *testing.T) {
+	spec := Spec{Adversaries: []string{"random-path"}, Ns: []int{8}, Trials: 3, Seed: 4}
+	dir, err := cache.NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunSpec(context.Background(), spec, Config{Cache: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cellKeyFor(t, spec, "random-path", 8, -1)
+	whole, ok, err := dir.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("cell entry missing after run: ok=%v err=%v", ok, err)
+	}
+	// Hand-truncate the stored file to half its bytes, as fsck would find
+	// it after losing a tail of blocks.
+	if err := dir.Put(key, whole[:len(whole)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Observe the deletion through a decorator that records it, proving
+	// the corrupt entry was evicted at detection time (not merely
+	// overwritten later by the recomputation's Put).
+	rec := &recordingCache{Cache: dir, dir: dir}
+	again, err := RunSpec(context.Background(), spec, Config{Cache: rec})
+	if err != nil {
+		t.Fatalf("campaign failed on a truncated cache file: %v", err)
+	}
+	if rec.deleted != 1 {
+		t.Errorf("deletes = %d, want 1 (the truncated entry)", rec.deleted)
+	}
+	if again.CacheHits != 0 || again.Executed != again.Jobs {
+		t.Errorf("truncated entry served: hits/executed = %d/%d", again.CacheHits, again.Executed)
+	}
+	if !bytes.Equal(artifactBytes(t, clean), artifactBytes(t, again)) {
+		t.Error("artifact after truncation-recovery differs from the clean run")
+	}
+	// And the recomputation repaired the file bit-identically.
+	healed, ok, err := dir.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("entry not rewritten: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(healed, whole) {
+		t.Error("healed entry differs from the original bytes")
+	}
+}
+
+// recordingCache counts Deletes while delegating everything, standing in
+// for the instrumented decorator in the truncation regression test.
+type recordingCache struct {
+	cache.Cache
+	dir     *cache.Dir
+	deleted int
+}
+
+func (r *recordingCache) Delete(key string) error {
+	r.deleted++
+	return r.dir.Delete(key)
+}
+
 // cellKeyFor derives the cache key of one cell of spec for tests,
 // addressing the family by name with an optional k param (k < 0 = none).
 func cellKeyFor(t testing.TB, spec Spec, adv string, n, k int) string {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 
+	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/gossip"
 	"dyntreecast/internal/rng"
@@ -468,8 +469,18 @@ func RunSpec(ctx context.Context, spec Spec, cfg Config) (*Outcome, error) {
 			}
 			var ent cellEntry
 			if err := json.Unmarshal(data, &ent); err != nil || len(ent.Trials) != len(c.JobIdx) {
-				// A torn or foreign entry is treated as a miss; the fresh
-				// computation will overwrite it.
+				// A truncated, torn, or foreign entry is a miss, never an
+				// error: the cell is recomputed (the determinism contract
+				// makes the recomputation byte-identical to what the entry
+				// should have held). Backends that can delete also heal —
+				// the bad bytes are evicted immediately instead of being
+				// served to readers that never Put (the warehouse query
+				// layer) until some campaign overwrites them.
+				if d, ok := cfg.Cache.(cache.Deleter); ok {
+					if derr := d.Delete(c.Key); derr != nil {
+						return nil, fmt.Errorf("campaign: cache delete %s: %w", c.Cell, derr)
+					}
+				}
 				misses = append(misses, c)
 				continue
 			}

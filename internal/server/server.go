@@ -46,6 +46,7 @@ import (
 	"dyntreecast/internal/campaign/cache"
 	"dyntreecast/internal/cluster"
 	"dyntreecast/internal/metrics"
+	"dyntreecast/internal/store"
 )
 
 // Options configures a Server.
@@ -70,6 +71,12 @@ type Options struct {
 	// from the oldest retained event; memory per campaign stays O(limit)
 	// instead of O(jobs).
 	ReplayLimit int
+	// Store, when non-nil, mounts the /results query endpoints over this
+	// results warehouse (results.go, DESIGN.md §3h) and auto-ingests
+	// every campaign that finishes cleanly under its run id. Pair it
+	// with Cache = Store.Cache() so campaigns cache their cell bytes
+	// into the warehouse (cmd/campaignd's -store flag wires both).
+	Store *store.Store
 	// Cluster, when non-nil, mounts the /cluster/lease and
 	// /cluster/results endpoints on this coordinator and runs every
 	// campaign with it as the remote scheduler: workers joining over HTTP
@@ -159,6 +166,9 @@ func New(opts Options) *Server {
 		mux.HandleFunc("POST /cluster/lease", opts.Cluster.HandleLease)
 		mux.HandleFunc("POST /cluster/results", opts.Cluster.HandleResults)
 		mux.HandleFunc("GET /cluster/workers", opts.Cluster.HandleWorkers)
+	}
+	if opts.Store != nil {
+		s.mountResults(mux)
 	}
 	s.mux = mux
 	return s
@@ -309,6 +319,9 @@ func (s *Server) execute(r *run) {
 	}
 	outcome, err := campaign.RunSpec(s.ctx, r.spec, cfg)
 	r.finish(outcome, err)
+	if err == nil {
+		s.ingestOutcome(r.id, outcome)
+	}
 	s.logf("campaign %s: %s", r.id, r.statusLine())
 }
 

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GCResult reports one retention pass.
+type GCResult struct {
+	Before    int64 `json:"before_bytes"`    // cell bytes before the pass
+	After     int64 `json:"after_bytes"`     // cell bytes after the pass
+	Scanned   int   `json:"scanned"`         // cell files seen
+	Evicted   int   `json:"evicted"`         // cell files removed
+	Reclaimed int64 `json:"reclaimed_bytes"` // bytes freed
+	Pinned    int   `json:"pinned_cells"`    // cells exempt via pinned campaigns
+}
+
+// cellFile is one stored cell's GC view.
+type cellFile struct {
+	key   string
+	size  int64
+	mtime time.Time
+}
+
+// scanCells walks the cell byte store, skipping temp files mid-write.
+func (s *Store) scanCells() ([]cellFile, error) {
+	var files []cellFile
+	root := s.cells.Root()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			// Raced with an eviction or a rename; the file is gone.
+			return nil
+		}
+		files = append(files, cellFile{key: d.Name(), size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning cells: %w", err)
+	}
+	return files, nil
+}
+
+// Size returns the warehouse's current cell-byte footprint and refreshes
+// the size gauge.
+func (s *Store) Size() (int64, error) {
+	files, err := s.scanCells()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	gBytes.Set(float64(total))
+	return total, nil
+}
+
+// pinnedKeys returns the content addresses protected by pinned
+// campaigns.
+func (s *Store) pinnedKeys() map[string]bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make(map[string]bool)
+	for id := range s.pins {
+		m := s.manifests[id]
+		if m == nil {
+			continue
+		}
+		for _, c := range m.Cells {
+			if c.Key != "" {
+				keys[c.Key] = true
+			}
+		}
+	}
+	return keys
+}
+
+// GC enforces the byte budget on the cell store: while the footprint
+// exceeds budget, the least recently used unpinned cell file is evicted
+// (mtime is the recency signal — Store.Cache bumps it on every read
+// hit). Manifests and their stats are never touched, so evicted results
+// stay queryable; only re-runs pay a recompute, and by the determinism
+// contract they repay it byte-identically. A budget of 0 or less means
+// "evict everything unpinned" — useful for tests and explicit purges; to
+// skip GC entirely, don't call it.
+func (s *Store) GC(budget int64) (GCResult, error) {
+	files, err := s.scanCells()
+	if err != nil {
+		return GCResult{}, err
+	}
+	res := GCResult{Scanned: len(files)}
+	for _, f := range files {
+		res.Before += f.size
+	}
+	res.After = res.Before
+	pinned := s.pinnedKeys()
+
+	// Oldest first; key breaks mtime ties so the order is deterministic.
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].key < files[j].key
+	})
+	for _, f := range files {
+		if res.After <= budget {
+			break
+		}
+		if pinned[f.key] {
+			res.Pinned++
+			continue
+		}
+		if err := s.cells.Delete(f.key); err != nil {
+			return res, err
+		}
+		res.Evicted++
+		res.Reclaimed += f.size
+		res.After -= f.size
+	}
+	if res.Evicted > 0 {
+		mGCRuns.Inc()
+		mGCReclaimed.Add(uint64(res.Reclaimed))
+	}
+	gBytes.Set(float64(res.After))
+	return res, nil
+}
+
+// StartGC runs GC under the budget now and then every interval until the
+// returned stop function is called. Stop blocks until the ticker
+// goroutine has fully exited — no goroutine survives it, which is what
+// lets a daemon's graceful shutdown assert leak-freedom. Pass a logf
+// (e.g. log.Printf) for eviction reports; nil silences them.
+func (s *Store) StartGC(interval time.Duration, budget int64, logf func(format string, args ...any)) (stop func()) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	run := func() {
+		res, err := s.GC(budget)
+		switch {
+		case err != nil:
+			logf("store: gc: %v", err)
+		case res.Evicted > 0:
+			logf("store: gc evicted %d cells (%d bytes), %d -> %d bytes", res.Evicted, res.Reclaimed, res.Before, res.After)
+		}
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		run()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				run()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyntreecast/internal/campaign"
+)
+
+// ageCells backdates every cell of the campaign's spec by d so GC order
+// is deterministic in tests.
+func ageCells(t *testing.T, s *Store, spec campaign.Spec, d time.Duration) {
+	t.Helper()
+	jobs, err := spec.CellJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-d)
+	for _, j := range jobs {
+		p := filepath.Join(s.Root(), "cells", j.Key[:2], j.Key)
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGCEvictsLRUFirst: under a budget that forces eviction, the colder
+// campaign's cells go first and the warmer one's bytes survive.
+func TestGCEvictsLRUFirst(t *testing.T) {
+	s := openStore(t)
+	cold := testSpec()
+	warm := testSpec()
+	warm.Seed++ // distinct content addresses
+	runInto(t, s, "cold", cold)
+	runInto(t, s, "warm", warm)
+	ageCells(t, s, cold, time.Hour)
+
+	size, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.GC(size / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted == 0 || res.After > size/2 || res.Before != size {
+		t.Fatalf("GC = %+v (size %d)", res, size)
+	}
+	coldJobs, _ := cold.CellJobs()
+	for _, j := range coldJobs {
+		if _, ok, _ := s.Cache().Get(j.Key); ok {
+			t.Errorf("cold cell %s survived while warmer cells existed", j.Cell)
+		}
+	}
+	warmJobs, _ := warm.CellJobs()
+	for _, j := range warmJobs {
+		if _, ok, _ := s.Cache().Get(j.Key); !ok {
+			t.Errorf("warm cell %s evicted before colder cells", j.Cell)
+		}
+	}
+	// Evicted results stay queryable: stats live in the manifest.
+	if rows := allRows(t, s, Filter{Campaign: "cold"}); len(rows) != 4 {
+		t.Errorf("evicted campaign has %d rows, want 4", len(rows))
+	}
+}
+
+// TestGCNeverEvictsPinned is the retention acceptance criterion: a
+// pinned campaign's cells survive even a zero budget.
+func TestGCNeverEvictsPinned(t *testing.T) {
+	s := openStore(t)
+	pinned := testSpec()
+	loose := testSpec()
+	loose.Seed++
+	runInto(t, s, "pinned", pinned)
+	runInto(t, s, "loose", loose)
+	if err := s.Pin("pinned", true); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pinned != 4 || res.Evicted != 4 {
+		t.Fatalf("GC = %+v, want 4 pinned / 4 evicted", res)
+	}
+	jobs, _ := pinned.CellJobs()
+	for _, j := range jobs {
+		if _, ok, _ := s.Cache().Get(j.Key); !ok {
+			t.Errorf("pinned cell %s evicted", j.Cell)
+		}
+	}
+	jobs, _ = loose.CellJobs()
+	for _, j := range jobs {
+		if _, ok, _ := s.Cache().Get(j.Key); ok {
+			t.Errorf("unpinned cell %s survived a zero budget", j.Cell)
+		}
+	}
+	// Under budget: nothing to do, nothing evicted.
+	size, _ := s.Size()
+	if res, _ := s.GC(size + 1); res.Evicted != 0 {
+		t.Errorf("under-budget GC evicted %d", res.Evicted)
+	}
+}
+
+// TestGCReadHitKeepsCellWarm: Store.Cache bumps recency on Get, so a
+// freshly read cell outlives an untouched contemporary.
+func TestGCReadHitKeepsCellWarm(t *testing.T) {
+	s := openStore(t)
+	spec := testSpec()
+	runInto(t, s, "run", spec)
+	ageCells(t, s, spec, time.Hour)
+
+	jobs, _ := spec.CellJobs()
+	hot := jobs[0]
+	if _, ok, err := s.Cache().Get(hot.Key); !ok || err != nil {
+		t.Fatalf("Get(%s): ok=%v err=%v", hot.Cell, ok, err)
+	}
+	// Budget just big enough for one cell: only the touched one fits.
+	data, _, _ := s.Cache().Get(hot.Key)
+	if _, err := s.GC(int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Cache().Get(hot.Key); !ok {
+		t.Error("recently read cell was evicted")
+	}
+	for _, j := range jobs[1:] {
+		if _, ok, _ := s.Cache().Get(j.Key); ok {
+			t.Errorf("stale cell %s survived", j.Cell)
+		}
+	}
+}
+
+// TestEvictedCellRecomputesByteIdentically closes the retention loop: an
+// evicted cell re-runs to the exact bytes GC removed.
+func TestEvictedCellRecomputesByteIdentically(t *testing.T) {
+	s := openStore(t)
+	spec := testSpec()
+	runInto(t, s, "run", spec)
+	jobs, _ := spec.CellJobs()
+	before := make(map[string][]byte)
+	for _, j := range jobs {
+		data, _, _ := s.Cache().Get(j.Key)
+		before[j.Key] = data
+	}
+	if _, err := s.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := campaign.RunSpec(context.Background(), spec, campaign.Config{Cache: s.Cache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHits != 0 {
+		t.Fatalf("post-GC run hit cache %d times, want 0", out.CacheHits)
+	}
+	for _, j := range jobs {
+		data, ok, _ := s.Cache().Get(j.Key)
+		if !ok || string(data) != string(before[j.Key]) {
+			t.Errorf("cell %s did not recompute byte-identically", j.Cell)
+		}
+	}
+}
+
+// TestStartGCStopsCleanly is the graceful-shutdown satellite's core: the
+// stop function blocks until the ticker goroutine has exited, leaving no
+// goroutine behind.
+func TestStartGCStopsCleanly(t *testing.T) {
+	s := openStore(t)
+	runInto(t, s, "run", testSpec())
+	before := runtime.NumGoroutine()
+
+	var mu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	stop := s.StartGC(time.Millisecond, 0, logf)
+	time.Sleep(20 * time.Millisecond) // let at least one tick fire
+	stop()
+
+	// The first pass evicts everything unpinned and must have logged it.
+	mu.Lock()
+	logged := len(logs)
+	mu.Unlock()
+	if logged == 0 {
+		t.Error("eviction pass produced no log line")
+	}
+	// After stop returns, the ticker goroutine is gone. Allow scheduler
+	// noise from unrelated runtime goroutines with a settle loop.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines after stop = %d, want <= %d", now, before)
+	}
+	// Stopping twice-started GCs independently is fine; a second stop of
+	// a fresh loop returns promptly even when no tick ever fired.
+	stop2 := s.StartGC(time.Hour, 0, nil)
+	done := make(chan struct{})
+	go func() { stop2(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not return")
+	}
+}
+
+// TestSizeAndScanSkipTempFiles: an in-flight temp file is neither
+// counted nor evicted.
+func TestSizeAndScanTempFiles(t *testing.T) {
+	s := openStore(t)
+	runInto(t, s, "run", testSpec())
+	size, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(s.Root(), "cells", ".inflight.tmp1")
+	if err := os.WriteFile(tmp, []byte(strings.Repeat("x", 4096)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	size2, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size2 != size {
+		t.Errorf("temp file counted: %d != %d", size2, size)
+	}
+	if _, err := s.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("temp file evicted: %v", err)
+	}
+}

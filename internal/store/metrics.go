@@ -1,0 +1,23 @@
+package store
+
+import "dyntreecast/internal/metrics"
+
+// Warehouse instruments (DESIGN.md §3h): footprint and index gauges kept
+// current by Open/ingest/GC, counters for the two write paths, and the
+// query-latency histogram the /results endpoints feed.
+var (
+	gBytes = metrics.Default.Gauge("store_cell_bytes",
+		"Bytes held in the warehouse cell store (the GC'd area).")
+	gRows = metrics.Default.Gauge("store_rows",
+		"Queryable cell rows in the warehouse index.")
+	gCampaigns = metrics.Default.Gauge("store_campaigns",
+		"Campaign manifests in the warehouse index.")
+	mIngests = metrics.Default.Counter("store_ingests_total",
+		"Campaign manifests written (ingests and backfills, including re-ingests).")
+	mGCRuns = metrics.Default.Counter("store_gc_runs_total",
+		"Retention passes that evicted at least one cell.")
+	mGCReclaimed = metrics.Default.Counter("store_gc_reclaimed_bytes_total",
+		"Cell bytes reclaimed by retention GC.")
+	hQuery = metrics.Default.Histogram("store_query_seconds",
+		"Warehouse query latency.", metrics.ExpBuckets(0.0001, 4, 8))
+)
