@@ -65,6 +65,43 @@ func TestRunDeep(t *testing.T) {
 	}
 }
 
+// TestRunParallel pins that worker count never changes printed values.
+func TestRunParallel(t *testing.T) {
+	serial, err := captureStdout(t, func() error { return run([]string{"-max-n", "4", "-parallel", "1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := captureStdout(t, func() error { return run([]string{"-max-n", "4", "-parallel", "4"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != par {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}
+
+// TestRunTable persists solve tables across runs: the first run saves,
+// the second loads and answers without re-exploring.
+func TestRunTable(t *testing.T) {
+	dir := t.TempDir()
+	first, err := captureStdout(t, func() error { return run([]string{"-max-n", "4", "-table", dir}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, "saved") || !strings.Contains(first, "n4.solvetable") {
+		t.Fatalf("first run did not save tables:\n%s", first)
+	}
+	second, err := captureStdout(t, func() error { return run([]string{"-max-n", "4", "-table", dir}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loaded", "n=4  t*=4"} {
+		if !strings.Contains(second, want) {
+			t.Errorf("second run missing %q:\n%s", want, second)
+		}
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	cases := map[string][]string{
 		"unknown flag":           {"-no-such-flag"},

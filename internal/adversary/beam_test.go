@@ -5,6 +5,7 @@ import (
 
 	"dyntreecast/internal/bounds"
 	"dyntreecast/internal/core"
+	"dyntreecast/internal/gamesolver"
 )
 
 func TestBeamSearchSmall(t *testing.T) {
@@ -55,6 +56,38 @@ func TestBeamSearchN1(t *testing.T) {
 	}
 	if got, err := core.BroadcastTime(1, replay); err != nil || got != 0 {
 		t.Errorf("n=1 replay: %d, %v", got, err)
+	}
+}
+
+// TestBeamSearchBoundedByExactN6 validates the heuristic searches
+// against the now-computable exact optimum at n = 6: t*(T6) = 7 (the
+// lower-bound formula is tight there, confirmed by the parallel exact
+// solver — see EXPERIMENTS.md E7). No beam seed may certify more rounds
+// than the game value, and the budgeted deep-line search must reach
+// exactly that value.
+func TestBeamSearchBoundedByExactN6(t *testing.T) {
+	const n, exact = 6, 7 // t*(T6); crossval re-derives this from the solver
+	if exact != bounds.Lower(n) {
+		t.Fatalf("test constant drifted: bounds.Lower(6) = %d", bounds.Lower(n))
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		replay, rounds := BeamSearch(n, BeamConfig{Width: 8, RandomMoves: 3, Seed: seed})
+		if rounds > exact {
+			t.Errorf("seed %d: beam certifies %d rounds, exact optimum is %d", seed, rounds, exact)
+		}
+		if got, err := core.BroadcastTime(n, replay); err != nil || got != rounds {
+			t.Errorf("seed %d: replay gives %d,%v, search reported %d", seed, got, err, rounds)
+		}
+	}
+	line, depth, err := gamesolver.DeepestLine(n, 6000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != exact {
+		t.Errorf("deep-line certifies %d rounds at n=6, exact optimum is %d", depth, exact)
+	}
+	if got, err := core.BroadcastTime(n, Replay{Trees: line}); err != nil || got < depth {
+		t.Errorf("deep-line replay gives %d,%v, want >= %d", got, err, depth)
 	}
 }
 

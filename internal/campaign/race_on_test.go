@@ -1,0 +1,7 @@
+//go:build race
+
+package campaign
+
+// raceEnabled lets tests scale down work that is fine natively but far
+// too slow under the race detector (the n = 6 exact solve).
+const raceEnabled = true

@@ -1,0 +1,269 @@
+package gamesolver
+
+import "math/bits"
+
+// Canonicalization reduces a state to one representative of its orbit
+// under vertex relabeling, so the memo table stores each equivalence
+// class once. The seed solver took the minimum packed mask over all n!
+// bit permutations — correct, but the n!-loop dominated the whole search
+// (720 permutations per lookup at n = 6). The rewrite keeps exactness
+// while touching almost no permutations:
+//
+//  1. A vertex-invariant refinement ("greedy column sort"): each vertex
+//     gets a key built only from relabeling-invariant structure — how
+//     many processes it has heard, how many have heard it, then two
+//     rounds of hashing in its neighbors' keys (one Weisfeiler–Leman
+//     style sweep). Sorting vertices by key is equivariant: a relabeled
+//     state sorts into the same cell sequence.
+//  2. Only permutations that respect that sorted order are candidates;
+//     ties (cells of equal key) are broken by enumerating all orders
+//     within each cell. Most mid-game states have all-distinct keys, so
+//     the candidate set collapses from n! to 1–2 permutations. The
+//     canonical form is the minimum packed mask over the candidate set —
+//     a different (coarser-indexed) representative than the seed's
+//     all-permutations minimum, but equally orbit-invariant, which is
+//     all the memo needs. Solve tables record canonVersion so a
+//     persisted table is never joined against a foreign representative
+//     function.
+//  3. Each candidate is applied with a precomputed per-permutation word
+//     program: rows are ≤ 8-bit words, so a permutation's column
+//     shuffle is one table lookup per row (scatter[rank][row]), built
+//     once per solver for all n! permutations. Candidates are compared
+//     against the running minimum from the most significant row group
+//     down, aborting as soon as a partial result exceeds it.
+//
+// canonVersion names this representative function in solve-table
+// headers; bump it whenever the keys, the refinement, or the tie-break
+// change, or old tables would silently mismatch new lookups.
+const canonVersion = "cells/1"
+
+// rawCanonVersion tags tables from WithoutCanonicalization solvers,
+// whose memo is keyed by raw states.
+const rawCanonVersion = "raw/1"
+
+// permScratch carries the fixed-size buffers one canonicalization needs;
+// each worker owns one, so canonicalization allocates nothing and takes
+// no locks.
+type permScratch struct {
+	rows  [hardMaxN]uint16 // heard-row of each vertex
+	keys  [hardMaxN]uint64 // refined invariant key per vertex
+	order [hardMaxN]uint8  // vertices sorted by key (cells = equal-key runs)
+	cand  [hardMaxN]uint8  // candidate permutation under construction
+	best  uint64           // minimum packed mask seen so far
+}
+
+// canonicalize returns the orbit representative of m.
+func (s *Solver) canonicalize(m uint64, ps *permScratch) uint64 {
+	if !s.canonize {
+		return m
+	}
+	n := s.n
+	for v := 0; v < n; v++ {
+		ps.rows[v] = uint16((m >> uint(v*n)) & s.colMask)
+	}
+	s.vertexKeys(ps)
+	for i := 0; i < n; i++ {
+		ps.order[i] = uint8(i)
+	}
+	// Insertion sort by key; within-cell order is irrelevant (all orders
+	// are enumerated), so stability does not matter.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && ps.keys[ps.order[j-1]] > ps.keys[ps.order[j]]; j-- {
+			ps.order[j-1], ps.order[j] = ps.order[j], ps.order[j-1]
+		}
+	}
+	ps.best = ^uint64(0)
+	copy(ps.cand[:], ps.order[:])
+	s.enumCells(ps, 0)
+	return ps.best
+}
+
+// vertexKeys fills ps.keys with relabeling-invariant vertex keys:
+// (heard count, reach count) refined by two rounds of neighbor-key
+// mixing. Sums over neighbor keys are multiset-invariant, so the keys of
+// a relabeled state are the same keys attached to the relabeled
+// vertices. Hash collisions can only merge cells — that costs candidate
+// permutations, never correctness.
+func (s *Solver) vertexKeys(ps *permScratch) {
+	n := s.n
+	var reach [hardMaxN]uint8
+	for y := 0; y < n; y++ {
+		r := ps.rows[y]
+		for r != 0 {
+			reach[bits.TrailingZeros16(r)]++
+			r &= r - 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		ps.keys[v] = uint64(bits.OnesCount16(ps.rows[v]))<<8 | uint64(reach[v])
+	}
+	for round := 0; round < 2; round++ {
+		var next [hardMaxN]uint64
+		for v := 0; v < n; v++ {
+			var heardSum, reachSum uint64
+			r := ps.rows[v]
+			for r != 0 {
+				heardSum += keyMix(ps.keys[bits.TrailingZeros16(r)])
+				r &= r - 1
+			}
+			for y := 0; y < n; y++ {
+				if ps.rows[y]>>uint(v)&1 == 1 {
+					reachSum += keyMix(ps.keys[y])
+				}
+			}
+			next[v] = keyMix(ps.keys[v] ^ bits.RotateLeft64(heardSum, 17) ^ bits.RotateLeft64(reachSum, 31))
+		}
+		ps.keys = next
+	}
+}
+
+func keyMix(x uint64) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// enumCells walks the cell structure of ps.order from position start,
+// enumerating every within-cell ordering; complete candidates land in
+// evalPerm. Singleton cells (the common case after refinement) recurse
+// straight through.
+func (s *Solver) enumCells(ps *permScratch, start int) {
+	n := s.n
+	if start >= n {
+		s.evalPerm(ps)
+		return
+	}
+	end := start + 1
+	k := ps.keys[ps.order[start]]
+	for end < n && ps.keys[ps.order[end]] == k {
+		end++
+	}
+	if end-start == 1 {
+		s.enumCells(ps, end)
+		return
+	}
+	s.permuteCell(ps, start, end-start, end)
+}
+
+// permuteCell runs Heap's algorithm on ps.cand[start:start+size],
+// recursing into the next cell at every arrangement.
+func (s *Solver) permuteCell(ps *permScratch, start, size, next int) {
+	if size == 1 {
+		s.enumCells(ps, next)
+		return
+	}
+	for i := 0; i < size; i++ {
+		s.permuteCell(ps, start, size-1, next)
+		if size%2 == 0 {
+			ps.cand[start+i], ps.cand[start+size-1] = ps.cand[start+size-1], ps.cand[start+i]
+		} else {
+			ps.cand[start], ps.cand[start+size-1] = ps.cand[start+size-1], ps.cand[start]
+		}
+	}
+}
+
+// evalPerm applies the candidate permutation in ps.cand via its
+// precomputed scatter program and lowers ps.best if the permuted mask is
+// smaller. The mask is assembled from the most significant row group
+// down so a losing candidate aborts at the first row that exceeds the
+// current minimum.
+func (s *Solver) evalPerm(ps *permScratch) {
+	n := s.n
+	tab := s.scatter[permRank(ps.cand[:n])]
+	best := ps.best
+	var out uint64
+	less := false
+	for yp := n - 1; yp >= 0; yp-- {
+		g := uint64(tab[ps.rows[ps.cand[yp]]])
+		if !less {
+			bg := (best >> uint(yp*n)) & s.colMask
+			if g > bg {
+				return
+			}
+			if g < bg {
+				less = true
+			}
+		}
+		out |= g << uint(yp*n)
+	}
+	ps.best = out
+}
+
+// permRank returns the lexicographic rank of a permutation of [0,n) —
+// the index of the matching entry in lexPerms(n) and s.scatter.
+func permRank(p []uint8) int {
+	rank := 0
+	n := len(p)
+	for i := 0; i < n; i++ {
+		c := 0
+		for j := i + 1; j < n; j++ {
+			if p[j] < p[i] {
+				c++
+			}
+		}
+		rank = rank*(n-i) + c
+	}
+	return rank
+}
+
+// lexPerms returns all permutations of [0,n) in lexicographic order, so
+// permRank indexes into the result.
+func lexPerms(n int) [][]uint8 {
+	var out [][]uint8
+	cur := make([]uint8, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			p := make([]uint8, n)
+			copy(p, cur)
+			out = append(out, p)
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cur = append(cur, uint8(v))
+			rec()
+			cur = cur[:len(cur)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// buildScatter precomputes one permutation's word program: tab[row] is
+// row with its bits shuffled by p (bit x' of the result is bit p[x'] of
+// the input), so applying a permutation to a state is one lookup per
+// row group instead of a per-bit loop.
+func buildScatter(p []uint8, n int) []uint16 {
+	tab := make([]uint16, 1<<uint(n))
+	for row := range tab {
+		var out uint16
+		for xp := 0; xp < n; xp++ {
+			out |= uint16(row>>p[xp]&1) << uint(xp)
+		}
+		tab[row] = out
+	}
+	return tab
+}
+
+// allPerms returns all permutations of [0,n) (lexicographic order); kept
+// as the reference enumeration for invariance tests.
+func allPerms(n int) [][]int {
+	ps := lexPerms(n)
+	out := make([][]int, len(ps))
+	for i, p := range ps {
+		q := make([]int, n)
+		for j, v := range p {
+			q[j] = int(v)
+		}
+		out[i] = q
+	}
+	return out
+}

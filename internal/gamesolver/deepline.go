@@ -31,19 +31,8 @@ func DeepestLine(n, budget, width int) ([]*tree.Tree, int, error) {
 	if width <= 0 {
 		width = 4
 	}
-	s := &Solver{n: n}
-	s.colMask = (uint64(1) << uint(n)) - 1
-	tree.Enumerate(n, func(t *tree.Tree) bool {
-		s.trees = append(s.trees, t)
-		plan := make(treePlan, 0, n-1)
-		for y, p := range t.Parents() {
-			if y != p {
-				plan = append(plan, struct{ dst, src uint }{uint(y * n), uint(p * n)})
-			}
-		}
-		s.plans = append(s.plans, plan)
-		return true
-	})
+	s := &Solver{}
+	s.init(n)
 
 	d := &deepSearch{s: s, width: width, budget: budget, visited: map[uint64]bool{}}
 	d.dfs(s.identityMask(), 0, nil)

@@ -3,12 +3,12 @@
 //
 // The game: states are the reflexive boolean matrices G(t); the adversary
 // moves by choosing any rooted tree T on [n], sending state M to M ∘ T;
-// the game ends when some row of M is full, and the adversary maximizes
-// the number of moves. Because round graphs carry all self-loops, states
-// grow monotonically, so the game is finite (§2: at most n² moves) and the
-// value function is well-defined:
+// the game ends when some process's rumor has reached everyone, and the
+// adversary maximizes the number of moves. Because round graphs carry all
+// self-loops, states grow monotonically, so the game is finite (§2: at
+// most n² moves) and the value function is well-defined:
 //
-//	f(M) = 0                          if M has a full row
+//	f(M) = 0                          if broadcast is complete in M
 //	f(M) = 1 + max_T f(M ∘ T)         otherwise
 //
 // t*(Tn) = f(I). This is the ground truth the heuristic adversaries in
@@ -16,49 +16,131 @@
 // also exposes the optimal move for each state, yielding a perfect-play
 // adversary for small n.
 //
-// Implementation: states are packed into a single uint64 (column-major,
-// bit y·n+x = "y has heard x"), so applying a tree is a handful of shift
-// and mask operations and the memo table is keyed by integers. States are
-// deduplicated up to process relabeling: t* is invariant under permuting
-// [n] (the tree set is closed under relabeling), so each state is reduced
-// to the minimal mask over all n! bit permutations. A raw-state cache in
-// front of the canonical table avoids recanonicalizing hot states.
+// Implementation: states are packed into a single uint64 (bit y·n+x =
+// "y has heard x"), so applying a tree is a handful of shift-and-mask
+// operations and the value table is keyed by integers. The search engine
+// layers four accelerations on the plain recursion, each preserving
+// exactness:
+//
+//   - Canonicalization deduplicates states up to process relabeling with
+//     an invariant-refinement prefilter instead of the former n!-loop
+//     (see canonical.go), fronted by a bounded raw-state cache.
+//   - Successor masks are deduplicated (many of the ≤ n^(n−1) trees send
+//     a given state to the same place) and dominance-pruned: if two
+//     successors satisfy A ⊂ B, then f(B) ≤ f(A) — knowledge only helps
+//     the protocol — so the maximizing adversary never needs B. Only the
+//     ⊆-minimal antichain of successors is searched.
+//   - The search runs on a work-stealing worker pool sharing a striped
+//     canonical value table (see parallel.go); values are exact and
+//     therefore bit-identical at every worker count.
+//   - Solved tables persist to disk and reload in milliseconds (see
+//     table.go), so t*(T6) is computed once per machine, not once per
+//     process.
+//
+// Every tree strictly grows a non-final state: if some tree changed
+// nothing, each child would already know everything its parent knows, so
+// the root's rumor — which the root knows — would have reached everyone,
+// contradicting non-finality. The game graph is therefore a DAG graded
+// by popcount, which bounds recursion depth and makes speculative
+// parallel descent safe.
 package gamesolver
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dyntreecast/internal/boolmat"
 	"dyntreecast/internal/core"
 	"dyntreecast/internal/tree"
 )
 
-// MaxN is the largest n the solver accepts by default. The tree set grows
-// as n^(n−1) and the state space super-exponentially; n = 6 (7776 trees)
-// is already hours of work, so it needs an explicit override. The packed
-// representation caps any override at n = 8 (n² ≤ 64 bits).
+// MaxN is the largest n the solver accepts by default, and the ceiling
+// for implicit solving (experiment tables, /results/curves cold misses).
+// The tree set grows as n^(n−1) and the state space super-exponentially;
+// n = 6 is minutes of multicore work with Parallel and pruning on (the
+// seed solver needed hours), so it still wants an explicit WithMaxN —
+// or a persisted solve table, which serves any solved n instantly. The
+// packed representation caps every override at n = 8 (n² ≤ 64 bits).
 const MaxN = 5
 
-// hardMaxN is the representation limit: n² bits must fit a uint64.
-const hardMaxN = 8
+// HardMaxN is the representation limit: n² bits must fit a uint64.
+// Solve tables and WithMaxN can take n this far; nothing can take it
+// further.
+const HardMaxN = 8
+
+// hardMaxN is the internal alias sizing the fixed scratch arrays.
+const hardMaxN = HardMaxN
+
+// DefaultRawCacheCap bounds the raw-state front cache (see
+// WithRawCacheCap). The seed solver's raw memo grew without limit — a
+// latent memory leak under long query sequences at n ≥ 6.
+const DefaultRawCacheCap = 1 << 17
+
+// spawnDepth is how deep into the search workers keep publishing
+// sibling subtrees as stealable tasks; below it the tree is bushy enough
+// that stealing costs more than it balances.
+const spawnDepth = 8
 
 // treePlan is the shift/mask program of one tree: for every non-root
-// vertex y, OR column parent(y) into column y.
+// vertex y, OR row parent(y) into row y.
 type treePlan []struct{ dst, src uint }
 
+// Stats is a point-in-time snapshot of solver search counters; read it
+// via Solver.Stats (or receive it in a WithProgress callback).
+type Stats struct {
+	// States is the number of distinct canonical states solved.
+	States uint64
+	// MemoHits counts lookups answered by the canonical value table.
+	MemoHits uint64
+	// RawHits counts lookups answered by the raw-state front cache
+	// without canonicalizing.
+	RawHits uint64
+	// Applies counts tree applications (successor generations).
+	Applies uint64
+	// Deduped counts successor masks dropped as duplicates.
+	Deduped uint64
+	// Dominated counts successor masks dropped by dominance pruning.
+	Dominated uint64
+	// TableLoaded is the number of states preloaded from solve tables.
+	TableLoaded uint64
+}
+
+type solverStats struct {
+	states, memoHits, rawHits, applies, deduped, dominated, tableLoaded atomic.Uint64
+}
+
 // Solver computes exact game values for one n. It caches states, so
-// reusing one Solver across queries amortizes the search.
+// reusing one Solver across queries amortizes the search. All exported
+// methods are safe for concurrent use.
 type Solver struct {
-	n              int
-	colMask        uint64
-	trees          []*tree.Tree
-	plans          []treePlan
-	bitPerms       [][]uint8      // per vertex-permutation: old bit -> new bit
-	memo           map[uint64]int // canonical mask -> value
-	rawMemo        map[uint64]int // raw mask -> value (canonicalization cache)
+	n        int
+	colMask  uint64
+	selfMask uint64
+	byteLen  int // bytes needed for n² bits (radix sort passes)
+	trees    []*tree.Tree
+	plans    []treePlan
+	perms    [][]uint8  // lexicographic vertex permutations (index = permRank)
+	scatter  [][]uint16 // per permutation: raw row -> permuted row
+	memo     *memoTable
+
 	canonize       bool
+	prune          bool
+	workers        int
+	rawCap         int
 	nLimitOverride int
+	progressEvery  uint64
+	progressFn     func(Stats)
+
+	queryMu    sync.Mutex // serializes external queries; workers never take it
+	qctx       *workerCtx // resident query context (raw cache persists across queries)
+	progressMu sync.Mutex
+	flushMu    sync.Mutex
+	flushed    Stats
+	stats      solverStats
 }
 
 // Option configures the solver.
@@ -70,21 +152,65 @@ func WithoutCanonicalization() Option {
 	return func(s *Solver) { s.canonize = false }
 }
 
-// WithMaxN raises the safety limit (default MaxN). Values above 5 can take
-// a very long time; the representation caps at 8.
+// WithoutPruning disables successor dominance pruning (deduplication
+// stays on) — only useful for the ablation bench.
+func WithoutPruning() Option {
+	return func(s *Solver) { s.prune = false }
+}
+
+// WithMaxN raises the safety limit (default MaxN). Values above 6 can
+// take a very long time; the representation caps at HardMaxN.
 func WithMaxN(m int) Option {
 	return func(s *Solver) { s.nLimitOverride = m }
+}
+
+// Parallel runs searches on workers goroutines (0 or negative means
+// GOMAXPROCS). Values are exact, so every worker count produces
+// bit-identical answers; only wall-clock changes.
+func Parallel(workers int) Option {
+	return func(s *Solver) {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s.workers = workers
+	}
+}
+
+// WithRawCacheCap bounds the raw-state front cache to at most entries
+// per search context (default DefaultRawCacheCap). When full, an
+// arbitrary quarter is evicted; the cache is a pure accelerator, so
+// eviction never changes an answer.
+func WithRawCacheCap(entries int) Option {
+	return func(s *Solver) {
+		if entries < 16 {
+			entries = 16
+		}
+		s.rawCap = entries
+	}
+}
+
+// WithProgress arranges for fn to receive a Stats snapshot roughly every
+// `every` newly solved canonical states (0 means 8192). fn must be fast
+// and is never called concurrently with itself.
+func WithProgress(every int, fn func(Stats)) Option {
+	return func(s *Solver) {
+		if every <= 0 {
+			every = 8192
+		}
+		s.progressEvery = uint64(every)
+		s.progressFn = fn
+	}
 }
 
 // New returns a solver for n processes. It errors when n exceeds the
 // safety limit (see MaxN and WithMaxN).
 func New(n int, opts ...Option) (*Solver, error) {
 	s := &Solver{
-		n:       n,
-		memo:    map[uint64]int{},
-		rawMemo: map[uint64]int{},
-
+		memo:     newMemoTable(),
 		canonize: true,
+		prune:    true,
+		workers:  1,
+		rawCap:   DefaultRawCacheCap,
 	}
 	for _, o := range opts {
 		o(s)
@@ -92,14 +218,34 @@ func New(n int, opts ...Option) (*Solver, error) {
 	limit := MaxN
 	if s.nLimitOverride > 0 {
 		limit = s.nLimitOverride
-		if limit > hardMaxN {
-			limit = hardMaxN
+		if limit > HardMaxN {
+			limit = HardMaxN
 		}
 	}
 	if n < 1 || n > limit {
 		return nil, fmt.Errorf("gamesolver: n = %d out of supported range [1,%d]", n, limit)
 	}
+	s.init(n)
+	if s.canonize {
+		s.perms = lexPerms(n)
+		s.scatter = make([][]uint16, len(s.perms))
+		for i, p := range s.perms {
+			s.scatter[i] = buildScatter(p, n)
+		}
+	}
+	s.qctx = s.newWorkerCtx(0, nil)
+	return s, nil
+}
+
+// init fills the representation-level fields (shared with DeepestLine,
+// which builds a bare Solver without memo or permutation machinery).
+func (s *Solver) init(n int) {
+	s.n = n
 	s.colMask = (uint64(1) << uint(n)) - 1
+	s.byteLen = (n*n + 7) / 8
+	for i := 0; i < n; i++ {
+		s.selfMask |= 1 << uint(i*n+i)
+	}
 	tree.Enumerate(n, func(t *tree.Tree) bool {
 		s.trees = append(s.trees, t)
 		plan := make(treePlan, 0, n-1)
@@ -111,30 +257,10 @@ func New(n int, opts ...Option) (*Solver, error) {
 		s.plans = append(s.plans, plan)
 		return true
 	})
-	for _, p := range allPerms(n) {
-		// permuted[x', y'] = m[p[x'], p[y']]: the old bit at
-		// (p[x'], p[y']) lands at new position (x', y').
-		table := make([]uint8, n*n)
-		for xp := 0; xp < n; xp++ {
-			for yp := 0; yp < n; yp++ {
-				oldIdx := p[yp]*n + p[xp]
-				newIdx := yp*n + xp
-				table[oldIdx] = uint8(newIdx)
-			}
-		}
-		s.bitPerms = append(s.bitPerms, table)
-	}
-	return s, nil
 }
 
 // identityMask returns the packed identity state.
-func (s *Solver) identityMask() uint64 {
-	var m uint64
-	for i := 0; i < s.n; i++ {
-		m |= 1 << uint(i*s.n+i)
-	}
-	return m
-}
+func (s *Solver) identityMask() uint64 { return s.selfMask }
 
 // apply runs one tree round on a packed state.
 func (s *Solver) apply(m uint64, plan treePlan) uint64 {
@@ -145,8 +271,8 @@ func (s *Solver) apply(m uint64, plan treePlan) uint64 {
 	return next
 }
 
-// done reports whether some row is full: the AND of all columns is
-// non-empty.
+// done reports whether broadcast is complete: some process x has been
+// heard by everyone, i.e. the AND of all heard-rows is non-empty.
 func (s *Solver) done(m uint64) bool {
 	inter := s.colMask
 	for y := 0; y < s.n; y++ {
@@ -158,30 +284,25 @@ func (s *Solver) done(m uint64) bool {
 	return inter&s.colMask != 0
 }
 
-// canonical returns the minimal mask over all vertex relabelings.
+// canonical returns the orbit representative of m (test/tooling
+// convenience over canonicalize; allocates its own scratch).
 func (s *Solver) canonical(m uint64) uint64 {
-	if !s.canonize {
-		return m
-	}
-	best := ^uint64(0)
-	for _, table := range s.bitPerms {
-		var out uint64
-		w := m
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
-			out |= 1 << table[b]
-			w &= w - 1
-		}
-		if out < best {
-			best = out
-		}
-	}
-	return best
+	var ps permScratch
+	return s.canonicalize(m, &ps)
 }
 
 // Value returns t*(Tn): the exact broadcast time under perfect adversary
 // play starting from the identity state.
-func (s *Solver) Value() int { return s.valueOf(s.identityMask()) }
+func (s *Solver) Value() int {
+	start := time.Now()
+	s.queryMu.Lock()
+	v := s.solveLocked(s.identityMask())
+	s.queryMu.Unlock()
+	mSolves.Inc()
+	mSolveSeconds.Observe(time.Since(start).Seconds())
+	s.flushMetrics()
+	return v
+}
 
 // ValueOf returns the remaining game value of an arbitrary reflexive
 // state given as a matrix.
@@ -189,33 +310,68 @@ func (s *Solver) ValueOf(m *boolmat.Matrix) int {
 	if m.N() != s.n {
 		panic(fmt.Sprintf("gamesolver: state dimension %d, solver n %d", m.N(), s.n))
 	}
-	return s.valueOf(s.pack(m))
+	s.queryMu.Lock()
+	v := s.solveLocked(s.pack(m))
+	s.queryMu.Unlock()
+	s.flushMetrics()
+	return v
 }
 
-// StatesExplored returns the number of distinct canonical states memoized.
-func (s *Solver) StatesExplored() int { return len(s.memo) }
+// CachedValue returns t*(Tn) if the root state is already solved (from
+// an earlier search or a loaded solve table) without doing any search
+// work, and reports whether it was available.
+func (s *Solver) CachedValue() (int, bool) {
+	m := s.identityMask()
+	if s.done(m) {
+		return 0, true
+	}
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	key := s.canonicalize(m, &s.qctx.ps)
+	if v, ok := s.memo.get(key); ok {
+		return int(v), true
+	}
+	return 0, false
+}
 
-func (s *Solver) valueOf(m uint64) int {
+// solveLocked resolves one state, dispatching to the parallel engine
+// when the solver was built with Parallel and the answer is not already
+// at hand. Callers hold queryMu.
+func (s *Solver) solveLocked(m uint64) int {
 	if s.done(m) {
 		return 0
 	}
-	if v, ok := s.rawMemo[m]; ok {
-		return v
+	if v, ok := s.qctx.raw.get(m); ok {
+		s.stats.rawHits.Add(1)
+		return int(v)
 	}
-	key := s.canonical(m)
-	if v, ok := s.memo[key]; ok {
-		s.rawMemo[m] = v
-		return v
+	key := s.canonicalize(m, &s.qctx.ps)
+	if v, ok := s.memo.get(key); ok {
+		s.stats.memoHits.Add(1)
+		s.qctx.raw.put(m, v)
+		return int(v)
 	}
-	best := 0
-	for _, plan := range s.plans {
-		if v := 1 + s.valueOf(s.apply(m, plan)); v > best {
-			best = v
-		}
+	if s.workers > 1 {
+		return s.solveParallel(m)
 	}
-	s.memo[key] = best
-	s.rawMemo[m] = best
-	return best
+	return s.qctx.value(m, 0)
+}
+
+// StatesExplored returns the number of distinct canonical states
+// memoized (including any preloaded from a solve table).
+func (s *Solver) StatesExplored() int { return s.memo.len() }
+
+// Stats returns a snapshot of the search counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		States:      s.stats.states.Load(),
+		MemoHits:    s.stats.memoHits.Load(),
+		RawHits:     s.stats.rawHits.Load(),
+		Applies:     s.stats.applies.Load(),
+		Deduped:     s.stats.deduped.Load(),
+		Dominated:   s.stats.dominated.Load(),
+		TableLoaded: s.stats.tableLoaded.Load(),
+	}
 }
 
 // BestTree returns an optimal adversary move from state m (a tree
@@ -230,13 +386,24 @@ func (s *Solver) BestTree(m *boolmat.Matrix) *tree.Tree {
 	}
 	// A cached move for the canonical representative would be a move in a
 	// *relabeled* game, so recompute per raw state; this is cheap relative
-	// to the value search, which is fully memoized by now.
+	// to the value search, which is fully memoized by now. All successors
+	// are searched here — dominance pruning inside the value recursion
+	// never changes any f, so the argmax over the full tree set is exact.
+	s.queryMu.Lock()
 	bestV, bestI := -1, -1
 	for i, plan := range s.plans {
-		if v := s.valueOf(s.apply(packed, plan)); v > bestV {
+		next := s.apply(packed, plan)
+		if next == packed {
+			// A no-op tree cannot exist on a live state (see the package
+			// comment); skip rather than recurse forever if it somehow did.
+			continue
+		}
+		if v := s.solveLocked(next); v > bestV {
 			bestV, bestI = v, i
 		}
 	}
+	s.queryMu.Unlock()
+	s.flushMetrics()
 	return s.trees[bestI]
 }
 
@@ -267,32 +434,267 @@ func (s *Solver) Unpack(mask uint64) *boolmat.Matrix {
 	return m
 }
 
-// allPerms returns all permutations of [0,n) (Heap's algorithm).
-func allPerms(n int) [][]int {
-	cur := make([]int, n)
-	for i := range cur {
-		cur[i] = i
-	}
-	var out [][]int
-	var rec func(k int)
-	rec = func(k int) {
-		if k == 1 {
-			p := make([]int, n)
-			copy(p, cur)
-			out = append(out, p)
-			return
+// ForEachValue visits every solved (canonical state, value) pair. The
+// iteration order is unspecified; concurrent inserts may or may not be
+// seen.
+func (s *Solver) ForEachValue(fn func(state uint64, value int)) {
+	s.memo.forEach(func(k uint64, v uint8) { fn(k, int(v)) })
+}
+
+// rawCache is the bounded raw-state front cache: it answers repeat
+// lookups of hot raw states without re-canonicalizing. Eviction drops an
+// arbitrary quarter — the cache holds only derived values, so any
+// eviction policy is correct and this one is free.
+type rawCache struct {
+	m   map[uint64]uint8
+	cap int
+}
+
+func (c *rawCache) get(k uint64) (uint8, bool) {
+	v, ok := c.m[k]
+	return v, ok
+}
+
+func (c *rawCache) put(k uint64, v uint8) {
+	if len(c.m) >= c.cap {
+		drop := c.cap / 4
+		if drop < 1 {
+			drop = 1
 		}
-		for i := 0; i < k; i++ {
-			rec(k - 1)
-			if k%2 == 0 {
-				cur[i], cur[k-1] = cur[k-1], cur[i]
-			} else {
-				cur[0], cur[k-1] = cur[k-1], cur[0]
+		for old := range c.m {
+			delete(c.m, old)
+			drop--
+			if drop == 0 {
+				break
 			}
 		}
 	}
-	rec(n)
+	c.m[k] = v
+}
+
+// workerCtx is one search worker's private state: its raw front cache,
+// canonicalization scratch, and per-depth successor buffers. Everything
+// here is single-goroutine; all sharing goes through Solver.memo and the
+// work pool.
+type workerCtx struct {
+	s     *Solver
+	id    int
+	pool  *workPool
+	raw   rawCache
+	ps    permScratch
+	all   []uint64   // raw successor masks, pre-dedup (reused across calls)
+	tmp   []uint64   // radix-sort / popcount-sort scratch
+	pops  []uint64   // popcount-ordered distinct successors
+	succ [][]uint64 // per-depth pruned successor lists (live during recursion)
+	cnt  [256]uint32
+	bkt  [65]uint32 // popcount buckets (n² ≤ 64)
+}
+
+func (s *Solver) newWorkerCtx(id int, pool *workPool) *workerCtx {
+	return &workerCtx{
+		s:    s,
+		id:   id,
+		pool: pool,
+		raw:  rawCache{m: make(map[uint64]uint8), cap: s.rawCap},
+	}
+}
+
+// value computes f(m) by pruned depth-first search. depth only indexes
+// scratch buffers; the recursion is bounded by the popcount grading of
+// the game DAG (≤ n² − n levels).
+func (w *workerCtx) value(m uint64, depth int) int {
+	s := w.s
+	if s.done(m) {
+		return 0
+	}
+	if v, ok := w.raw.get(m); ok {
+		s.stats.rawHits.Add(1)
+		return int(v)
+	}
+	key := s.canonicalize(m, &w.ps)
+	if v, ok := s.memo.get(key); ok {
+		s.stats.memoHits.Add(1)
+		w.raw.put(m, v)
+		return int(v)
+	}
+	succs := w.successors(m, depth)
+	if len(succs) == 0 {
+		// Impossible on a live state (every tree strictly grows it); a hit
+		// here means the representation is corrupt, not a value of 0.
+		panic(fmt.Sprintf("gamesolver: live state %#x has no progressing successor", m))
+	}
+	if w.pool != nil && depth < spawnDepth && len(succs) > 1 {
+		w.pool.offer(w.id, succs[1:], depth+1)
+	}
+	best := 0
+	for _, nm := range succs {
+		if v := 1 + w.value(nm, depth+1); v > best {
+			best = v
+		}
+	}
+	if s.memo.put(key, uint8(best)) {
+		n := s.stats.states.Add(1)
+		if s.progressFn != nil && n%s.progressEvery == 0 {
+			s.reportProgress()
+		}
+	}
+	w.raw.put(m, uint8(best))
+	return best
+}
+
+func (s *Solver) reportProgress() {
+	if !s.progressMu.TryLock() {
+		return // another worker is mid-callback; this snapshot is redundant
+	}
+	s.progressFn(s.Stats())
+	s.progressMu.Unlock()
+}
+
+// successors generates m's successor set: one mask per tree, then
+// deduplicated (radix sort + adjacent-unique) and reduced to the
+// ⊆-minimal antichain. The returned slice lives in w.succ[depth] and
+// stays valid while the caller recurses through deeper levels.
+func (w *workerCtx) successors(m uint64, depth int) []uint64 {
+	s := w.s
+	all := w.all[:0]
+	for i := range s.plans {
+		all = append(all, s.apply(m, s.plans[i]))
+	}
+	w.all = all
+	s.stats.applies.Add(uint64(len(all)))
+
+	sorted := radixSort(all, &w.tmp, &w.cnt, s.byteLen)
+
+	for len(w.succ) <= depth {
+		w.succ = append(w.succ, nil)
+	}
+	out := w.succ[depth][:0]
+	var prev uint64 // masks contain the identity diagonal, so 0 is a safe sentinel
+	dropped := 0
+	for _, v := range sorted {
+		if v == prev || v == m {
+			dropped++
+			prev = v
+			continue
+		}
+		out = append(out, v)
+		prev = v
+	}
+	s.stats.deduped.Add(uint64(dropped))
+
+	if s.prune && len(out) > 1 {
+		out = w.dominate(out)
+	}
+	w.succ[depth] = out
 	return out
+}
+
+// dominate reduces the distinct successor set to its ⊆-minimal
+// antichain: if k ⊆ c for distinct successors, monotonicity gives
+// f(c) ≤ f(k), so the maximizing adversary never needs c. Candidates are
+// visited in ascending popcount order (stable counting sort), so every
+// potential dominator of c is already in the kept prefix.
+func (w *workerCtx) dominate(out []uint64) []uint64 {
+	bkt := &w.bkt
+	for i := range bkt {
+		bkt[i] = 0
+	}
+	for _, v := range out {
+		bkt[bits.OnesCount64(v)]++
+	}
+	pos := 0
+	for i := range bkt {
+		c := int(bkt[i])
+		bkt[i] = uint32(pos)
+		pos += c
+	}
+	if cap(w.pops) < len(out) {
+		w.pops = make([]uint64, len(out))
+	}
+	pops := w.pops[:len(out)]
+	for _, v := range out {
+		p := bits.OnesCount64(v)
+		pops[bkt[p]] = v
+		bkt[p]++
+	}
+
+	kept := out[:0]
+	for _, c := range pops {
+		dominated := false
+		for _, k := range kept {
+			if k&c == k {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, c)
+		}
+	}
+	w.s.stats.dominated.Add(uint64(len(pops) - len(kept)))
+	return kept
+}
+
+// radixSort sorts a ascending (LSD, byte digits, only the byteLen low
+// bytes a packed state can occupy) and returns the sorted slice — which
+// aliases either a or *tmp. Single-bucket passes are skipped, so nearly
+// constant high bytes (the usual case) cost one counting scan each.
+func radixSort(a []uint64, tmp *[]uint64, cnt *[256]uint32, byteLen int) []uint64 {
+	if cap(*tmp) < len(a) {
+		*tmp = make([]uint64, len(a))
+	}
+	src, dst := a, (*tmp)[:len(a)]
+	for pass := 0; pass < byteLen; pass++ {
+		shift := uint(8 * pass)
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, v := range src {
+			cnt[(v>>shift)&0xff]++
+		}
+		if cnt[(src[0]>>shift)&0xff] == uint32(len(src)) {
+			continue // all keys share this digit
+		}
+		pos := uint32(0)
+		for i := range cnt {
+			c := cnt[i]
+			cnt[i] = pos
+			pos += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & 0xff
+			dst[cnt[d]] = v
+			cnt[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// flushMetrics folds the solver's counter deltas into the package
+// metrics registry; called after each exported query so scrapes track
+// live solves without the hot path touching a metric.
+func (s *Solver) flushMetrics() {
+	s.flushMu.Lock()
+	cur := s.Stats()
+	d := Stats{
+		States:      cur.States - s.flushed.States,
+		MemoHits:    cur.MemoHits - s.flushed.MemoHits,
+		RawHits:     cur.RawHits - s.flushed.RawHits,
+		Applies:     cur.Applies - s.flushed.Applies,
+		Deduped:     cur.Deduped - s.flushed.Deduped,
+		Dominated:   cur.Dominated - s.flushed.Dominated,
+		TableLoaded: cur.TableLoaded - s.flushed.TableLoaded,
+	}
+	s.flushed = cur
+	s.flushMu.Unlock()
+	mStates.Add(d.States)
+	mMemoHits.Add(d.MemoHits)
+	mRawHits.Add(d.RawHits)
+	mApplies.Add(d.Applies)
+	mDeduped.Add(d.Deduped)
+	mDominated.Add(d.Dominated)
+	mTableStates.Add(d.TableLoaded)
 }
 
 // Optimal is a perfect-play adversary for small n, backed by a Solver.

@@ -229,23 +229,6 @@ func TestCanonicalInvariantUnderRelabeling(t *testing.T) {
 	}
 }
 
-func BenchmarkSolverN4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s, _ := New(4)
-		_ = s.Value()
-	}
-}
-
-func BenchmarkSolverN5(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s, _ := New(5)
-		_ = s.Value()
-	}
-}
-
-func BenchmarkSolverN5NoCanon(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s, _ := New(5, WithoutCanonicalization())
-		_ = s.Value()
-	}
-}
+// Solver benchmarks live in parallel_test.go as the BenchmarkSolver
+// matrix (full / parallel / noprune / nocanon ablations) guarded by
+// scripts/benchdiff.sh.

@@ -1,0 +1,143 @@
+package gamesolver
+
+import "sync"
+
+// The canonical value table is the shared heart of the parallel search:
+// every worker publishes solved states into it and reads other workers'
+// results out of it, so it must be cheap under concurrency and compact at
+// n = 6+ scale (millions of states). It is a striped-lock open-addressing
+// hash table: 2^memoShardBits independent shards, each a power-of-two
+// linear-probe array of (mask, value) pairs. Publishing is idempotent —
+// the game value of a state is unique, so two workers racing to insert
+// the same key always carry the same value and first-write-wins changes
+// nothing observable. Keys are packed reflexive states, which always
+// contain the identity diagonal and are therefore never zero, freeing 0
+// as the empty-slot sentinel.
+const (
+	memoShardBits  = 8
+	memoShardCount = 1 << memoShardBits
+	memoInitialCap = 1 << 10
+)
+
+type memoTable struct {
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu   sync.Mutex
+	keys []uint64
+	vals []uint8
+	used int
+}
+
+func newMemoTable() *memoTable { return &memoTable{} }
+
+// memoHash is a 64-bit finalizer (splitmix64); the high bits pick the
+// shard and the full hash seeds the probe so shard and slot stay
+// decorrelated.
+func memoHash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (t *memoTable) get(key uint64) (uint8, bool) {
+	h := memoHash(key)
+	s := &t.shards[h>>(64-memoShardBits)]
+	s.mu.Lock()
+	if s.used == 0 {
+		s.mu.Unlock()
+		return 0, false
+	}
+	mask := uint64(len(s.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch s.keys[i] {
+		case key:
+			v := s.vals[i]
+			s.mu.Unlock()
+			return v, true
+		case 0:
+			s.mu.Unlock()
+			return 0, false
+		}
+	}
+}
+
+// put publishes key -> v and reports whether the key was newly inserted.
+// An existing entry is kept as-is: values are unique per key, so a lost
+// race is not a lost result.
+func (t *memoTable) put(key uint64, v uint8) bool {
+	if key == 0 {
+		panic("gamesolver: zero state key (states are reflexive and never empty)")
+	}
+	h := memoHash(key)
+	s := &t.shards[h>>(64-memoShardBits)]
+	s.mu.Lock()
+	if s.keys == nil {
+		s.keys = make([]uint64, memoInitialCap)
+		s.vals = make([]uint8, memoInitialCap)
+	}
+	inserted := s.insert(key, v)
+	if inserted && s.used*10 >= len(s.keys)*7 {
+		s.grow()
+	}
+	s.mu.Unlock()
+	return inserted
+}
+
+func (s *memoShard) insert(key uint64, v uint8) bool {
+	mask := uint64(len(s.keys) - 1)
+	for i := memoHash(key) & mask; ; i = (i + 1) & mask {
+		switch s.keys[i] {
+		case key:
+			return false
+		case 0:
+			s.keys[i] = key
+			s.vals[i] = v
+			s.used++
+			return true
+		}
+	}
+}
+
+func (s *memoShard) grow() {
+	oldKeys, oldVals := s.keys, s.vals
+	s.keys = make([]uint64, 2*len(oldKeys))
+	s.vals = make([]uint8, 2*len(oldVals))
+	s.used = 0
+	for i, k := range oldKeys {
+		if k != 0 {
+			s.insert(k, oldVals[i])
+		}
+	}
+}
+
+func (t *memoTable) len() int {
+	total := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		total += s.used
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// forEach visits every (state, value) pair, one shard at a time. The
+// snapshot is per-shard consistent, which is all table serialization
+// needs: entries published while iterating may or may not be seen.
+func (t *memoTable) forEach(fn func(key uint64, v uint8)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for j, k := range s.keys {
+			if k != 0 {
+				fn(k, s.vals[j])
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,36 @@
+package gamesolver
+
+import "dyntreecast/internal/metrics"
+
+// Solver observability: counters are accumulated in per-solver atomics
+// on the search path and folded into the shared registry when an
+// exported query returns (flushMetrics), so a scrape never contends
+// with a worker and the recursion never touches a metric. The prune
+// rate is derivable as solver_successors_{deduped,dominated}_total over
+// solver_tree_applications_total; solve latency lands in
+// solver_solve_seconds per full Value computation.
+var (
+	mSolves = metrics.Default.Counter("solver_solves_total",
+		"Full exact game solves (Solver.Value calls).")
+	mSolveSeconds = metrics.Default.Histogram("solver_solve_seconds",
+		"Wall-clock latency of Solver.Value calls.",
+		metrics.ExpBuckets(0.0001, 4, 14))
+	mStates = metrics.Default.Counter("solver_states_explored_total",
+		"Distinct canonical game states solved.")
+	mMemoHits = metrics.Default.Counter("solver_memo_hits_total",
+		"State lookups answered by the canonical value table.")
+	mRawHits = metrics.Default.Counter("solver_raw_hits_total",
+		"State lookups answered by the raw-state front cache.")
+	mApplies = metrics.Default.Counter("solver_tree_applications_total",
+		"Tree applications performed while generating successors.")
+	mDeduped = metrics.Default.Counter("solver_successors_deduped_total",
+		"Successor masks dropped as duplicates of another tree's result.")
+	mDominated = metrics.Default.Counter("solver_successors_dominated_total",
+		"Successor masks dropped by subset-dominance pruning.")
+	mTableLoads = metrics.Default.Counter("solver_table_loads_total",
+		"Solve tables loaded from disk.")
+	mTableSaves = metrics.Default.Counter("solver_table_saves_total",
+		"Solve tables written to disk.")
+	mTableStates = metrics.Default.Counter("solver_table_states_total",
+		"States preloaded into solvers from solve tables.")
+)

@@ -1,0 +1,154 @@
+package gamesolver
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel search: one driver worker runs the exact depth-first
+// recursion from the root while helper workers steal published subtree
+// tasks and solve them speculatively into the shared canonical value
+// table. Publication happens at shallow depths (spawnDepth), where
+// subtrees are large enough to amortize a steal. Helpers warm the memo
+// ahead of the driver; when the driver reaches a stolen subtree it
+// reads the finished value instead of recursing.
+//
+// Correctness does not lean on the scheduler at all: f is a function,
+// every worker computes exact values, and the memo publishes
+// first-write-wins over identical values — so the answer is
+// bit-identical at every worker count and under every interleaving.
+// Duplicated work (two workers racing into the same subtree) costs only
+// wall-clock, the same currency the cluster layer pays for dead
+// workers. The driver finishing IS termination: helpers are then
+// stopped regardless of their progress, and any half-solved stolen
+// subtree simply leaves extra memo entries behind... which the next
+// query gets for free.
+
+// task is one stealable unit: solve the subtree rooted at mask. depth
+// seeds the worker's scratch-buffer indexing and the spawn cutoff.
+type task struct {
+	mask  uint64
+	depth int
+}
+
+// queueCap bounds each worker's task queue; beyond it offers are
+// dropped — the owning worker will solve those subtrees itself.
+const queueCap = 8192
+
+type taskQueue struct {
+	mu    sync.Mutex
+	tasks []task
+	head  int
+}
+
+func (q *taskQueue) push(ts []uint64, depth int) {
+	q.mu.Lock()
+	for _, m := range ts {
+		if len(q.tasks)-q.head >= queueCap {
+			break
+		}
+		q.tasks = append(q.tasks, task{m, depth})
+	}
+	q.mu.Unlock()
+}
+
+// popNewest serves the owner (LIFO: deepest, most local work first).
+func (q *taskQueue) popNewest() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.tasks) {
+		return task{}, false
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	if q.head >= len(q.tasks) {
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	}
+	return t, true
+}
+
+// popOldest serves thieves (FIFO: shallowest, biggest subtrees first).
+func (q *taskQueue) popOldest() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.tasks) {
+		return task{}, false
+	}
+	t := q.tasks[q.head]
+	q.head++
+	if q.head >= len(q.tasks) {
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	} else if q.head > queueCap/2 {
+		q.tasks = append(q.tasks[:0], q.tasks[q.head:]...)
+		q.head = 0
+	}
+	return t, true
+}
+
+type workPool struct {
+	queues []taskQueue
+	stop   atomic.Bool
+}
+
+// offer publishes sibling subtrees from worker id as stealable tasks.
+func (p *workPool) offer(id int, masks []uint64, depth int) {
+	p.queues[id].push(masks, depth)
+}
+
+// steal finds work for worker id: its own newest task first, then the
+// oldest task of each victim in ring order.
+func (p *workPool) steal(id int) (task, bool) {
+	if t, ok := p.queues[id].popNewest(); ok {
+		return t, true
+	}
+	for i := 1; i < len(p.queues); i++ {
+		if t, ok := p.queues[(id+i)%len(p.queues)].popOldest(); ok {
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// solveParallel resolves f(m) with s.workers workers. The caller holds
+// queryMu; the root recursion runs on the calling goroutine.
+func (s *Solver) solveParallel(m uint64) int {
+	w := s.workers
+	pool := &workPool{queues: make([]taskQueue, w)}
+	var wg sync.WaitGroup
+	for id := 1; id < w; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctx := s.newWorkerCtx(id, pool)
+			idle := 0
+			for !pool.stop.Load() {
+				t, ok := pool.steal(id)
+				if !ok {
+					// Nothing stealable yet (or ever again): back off
+					// gently so an idle helper doesn't burn the core the
+					// driver needs.
+					idle++
+					if idle < 8 {
+						runtime.Gosched()
+					} else {
+						time.Sleep(100 * time.Microsecond)
+					}
+					continue
+				}
+				idle = 0
+				ctx.value(t.mask, t.depth)
+			}
+		}(id)
+	}
+	driver := s.qctx
+	driver.pool = pool
+	v := driver.value(m, 0)
+	driver.pool = nil
+	pool.stop.Store(true)
+	wg.Wait()
+	return v
+}

@@ -1,0 +1,261 @@
+package gamesolver
+
+import (
+	"fmt"
+	"testing"
+
+	"dyntreecast/internal/boolmat"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// TestParallelMatchesSerialEverywhere is the parallel engine's identity
+// contract: for every n ≤ 5 and several worker counts, the parallel
+// solver must assign exactly the same value to exactly the same set of
+// canonical states as the serial solver — not just agree on the root.
+// Work stealing, speculative duplication, and memo publish races may
+// reorder the search arbitrarily, but f is a function and the solved
+// set is the pruned successor closure of the root, so both sides must
+// land bit-for-bit identical.
+func TestParallelMatchesSerialEverywhere(t *testing.T) {
+	maxN := 5
+	if testing.Short() {
+		maxN = 4
+	}
+	for n := 2; n <= maxN; n++ {
+		serial, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serial.Value()
+		wantStates := map[uint64]int{}
+		serial.ForEachValue(func(state uint64, value int) { wantStates[state] = value })
+
+		for _, workers := range []int{2, 3, 8} {
+			par, err := New(n, Parallel(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := par.Value(); got != want {
+				t.Fatalf("n=%d workers=%d: t*=%d, serial says %d", n, workers, got, want)
+			}
+			got := map[uint64]int{}
+			par.ForEachValue(func(state uint64, value int) { got[state] = value })
+			if len(got) != len(wantStates) {
+				t.Errorf("n=%d workers=%d: %d canonical states, serial solved %d",
+					n, workers, len(got), len(wantStates))
+			}
+			for state, v := range wantStates {
+				if pv, ok := got[state]; !ok || pv != v {
+					t.Fatalf("n=%d workers=%d: state %#x = %d (present=%v), serial says %d",
+						n, workers, state, pv, ok, v)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelValueOfMidGameStates drives serial and parallel solvers
+// across the same random trajectories; every intermediate raw state must
+// agree.
+func TestParallelValueOfMidGameStates(t *testing.T) {
+	serial, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(4, Parallel(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	for trial := 0; trial < 25; trial++ {
+		m := boolmat.Identity(4)
+		for round := 0; round < 5; round++ {
+			m.ApplyTree(tree.Random(4, src))
+			if sv, pv := serial.ValueOf(m), par.ValueOf(m); sv != pv {
+				t.Fatalf("trial %d round %d: serial %d, parallel %d", trial, round, sv, pv)
+			}
+		}
+	}
+}
+
+// TestParallelOptionResolution pins the worker-count contract:
+// Parallel(0) resolves to at least one worker, Parallel(1) is the
+// serial engine.
+func TestParallelOptionResolution(t *testing.T) {
+	s, err := New(3, Parallel(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.workers < 1 {
+		t.Fatalf("Parallel(0) resolved to %d workers", s.workers)
+	}
+	s1, err := New(3, Parallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.workers != 1 {
+		t.Fatalf("Parallel(1) resolved to %d workers", s1.workers)
+	}
+	if a, b := s.Value(), s1.Value(); a != b {
+		t.Fatalf("Parallel(0) value %d != Parallel(1) value %d", a, b)
+	}
+}
+
+// TestPruningDoesNotChangeValues is the dominance-pruning soundness
+// check over full state sets: with pruning off, the solver visits more
+// states but every state both engines solved must carry the same value.
+func TestPruningDoesNotChangeValues(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		pruned, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := New(n, WithoutPruning())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv, uv := pruned.Value(), plain.Value(); pv != uv {
+			t.Fatalf("n=%d: pruned %d != unpruned %d", n, pv, uv)
+		}
+		if pruned.StatesExplored() > plain.StatesExplored() {
+			t.Errorf("n=%d: pruning increased states (%d > %d)",
+				n, pruned.StatesExplored(), plain.StatesExplored())
+		}
+		plainStates := map[uint64]int{}
+		plain.ForEachValue(func(state uint64, value int) { plainStates[state] = value })
+		pruned.ForEachValue(func(state uint64, value int) {
+			if v, ok := plainStates[state]; ok && v != value {
+				t.Errorf("n=%d: state %#x pruned value %d, unpruned %d", n, state, value, v)
+			}
+		})
+	}
+}
+
+// TestRawCacheStaysBounded is the regression test for the seed solver's
+// unbounded rawMemo: across a long query sequence the raw front cache
+// must never exceed its cap, and answers must stay correct after
+// evictions.
+func TestRawCacheStaysBounded(t *testing.T) {
+	const cap = 256
+	s, err := New(4, WithRawCacheCap(cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	for trial := 0; trial < 400; trial++ {
+		m := boolmat.Identity(4)
+		for round := 0; round < 1+trial%4; round++ {
+			m.ApplyTree(tree.Random(4, src))
+		}
+		if got, want := s.ValueOf(m), ref.ValueOf(m); got != want {
+			t.Fatalf("trial %d: bounded-cache value %d, reference %d", trial, got, want)
+		}
+		if size := len(s.qctx.raw.m); size > cap {
+			t.Fatalf("trial %d: raw cache grew to %d entries (cap %d)", trial, size, cap)
+		}
+	}
+	if size := len(s.qctx.raw.m); size == 0 {
+		t.Fatal("raw cache never populated — the bound test tested nothing")
+	}
+}
+
+// TestProgressCallback sees at least one snapshot during a real solve
+// and never a torn one (states only grow).
+func TestProgressCallback(t *testing.T) {
+	var snaps []Stats
+	s, err := New(5, WithProgress(100, func(st Stats) { snaps = append(snaps, st) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Value()
+	if len(snaps) == 0 {
+		t.Fatal("no progress callbacks during an n=5 solve")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].States < snaps[i-1].States {
+			t.Fatalf("progress went backwards: %d then %d", snaps[i-1].States, snaps[i].States)
+		}
+	}
+}
+
+// TestStatsAccounting sanity-checks the exported counters after a solve.
+func TestStatsAccounting(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Value()
+	st := s.Stats()
+	if st.States == 0 || st.Applies == 0 {
+		t.Fatalf("empty stats after a solve: %+v", st)
+	}
+	if st.Deduped+st.Dominated == 0 {
+		t.Fatalf("no successor ever pruned at n=4: %+v", st)
+	}
+	if int(st.States) != s.StatesExplored() {
+		t.Fatalf("Stats.States=%d, StatesExplored=%d", st.States, s.StatesExplored())
+	}
+}
+
+// BenchmarkSolver is the solver benchmark matrix guarded by
+// scripts/benchdiff.sh: the full engine and its ablations at n = 5 (the
+// largest n the default config solves), plus n = 4 for the slow
+// no-canonicalization ablation.
+func BenchmarkSolver(b *testing.B) {
+	cases := []struct {
+		name string
+		n    int
+		want int
+		opts []Option
+	}{
+		{"n5/full", 5, 5, nil},
+		{"n5/parallel", 5, 5, []Option{Parallel(0)}},
+		{"n5/noprune", 5, 5, []Option{WithoutPruning()}},
+		{"n4/nocanon", 4, 4, []Option{WithoutCanonicalization()}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := New(c.n, c.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := s.Value(); v != c.want {
+					b.Fatalf("t*(T%d) = %d, want %d", c.n, v, c.want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCanonicalize measures the canonicalization hot path alone on
+// a bag of reachable states.
+func BenchmarkCanonicalize(b *testing.B) {
+	for _, n := range []int{5, 6} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			s, err := New(n, WithMaxN(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := rng.New(1)
+			states := make([]uint64, 64)
+			for i := range states {
+				m := boolmat.Identity(n)
+				for r := 0; r <= i%4; r++ {
+					m.ApplyTree(tree.Random(n, src))
+				}
+				states[i] = s.pack(m)
+			}
+			var ps permScratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.canonicalize(states[i%len(states)], &ps)
+			}
+		})
+	}
+}

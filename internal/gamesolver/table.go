@@ -1,0 +1,183 @@
+package gamesolver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Solve tables persist a solver's canonical value table so exact values
+// survive the process: solve t*(T6) once, load it forever after in
+// milliseconds. The format is a text header over fixed-width binary
+// pairs:
+//
+//	dyntreecast-solvetable/1
+//	n=<n> canon=<canonVersion> states=<count>
+//	<count> × (8-byte little-endian canonical mask, 1-byte value)
+//
+// Pairs are written in ascending mask order, so the same solved table
+// always serializes to the same bytes (the warehouse's
+// content-addressing friendliness), and writes go temp+rename like
+// store manifests — a crash never leaves a half table at the target
+// path. Partial tables (from an interrupted solve that autosaved) load
+// fine and simply pre-warm the memo: the next solve resumes past every
+// state the table already knows.
+const tableMagic = "dyntreecast-solvetable/1"
+
+// TableInfo describes a solve table file without loading its states.
+type TableInfo struct {
+	N      int
+	Canon  string // canonical-representative version the masks use
+	States int
+}
+
+// canonTag names the representative function keying this solver's memo.
+func (s *Solver) canonTag() string {
+	if s.canonize {
+		return canonVersion
+	}
+	return rawCanonVersion
+}
+
+// SaveTable writes every solved state to path (temp+rename). Safe to
+// call concurrently with a running solve: it serializes a per-shard
+// consistent snapshot, which for an autosave is exactly what resuming
+// wants.
+func (s *Solver) SaveTable(path string) error {
+	type pair struct {
+		k uint64
+		v uint8
+	}
+	pairs := make([]pair, 0, s.memo.len())
+	s.memo.forEach(func(k uint64, v uint8) { pairs = append(pairs, pair{k, v}) })
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("gamesolver: solve table dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".solvetable-*")
+	if err != nil {
+		return fmt.Errorf("gamesolver: solve table temp: %w", err)
+	}
+	tmp := f.Name()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "%s\nn=%d canon=%s states=%d\n", tableMagic, s.n, s.canonTag(), len(pairs))
+	var rec [9]byte
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint64(rec[:8], p.k)
+		rec[8] = p.v
+		if _, err := w.Write(rec[:]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("gamesolver: writing solve table: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("gamesolver: writing solve table: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gamesolver: writing solve table: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gamesolver: installing solve table: %w", err)
+	}
+	mTableSaves.Inc()
+	return nil
+}
+
+// LoadTable merges a solve table into the solver's memo and returns the
+// number of states read. The table must match the solver's n and
+// canonical-representative version; a mismatch is an error, never a
+// silent wrong answer.
+func (s *Solver) LoadTable(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	info, err := readTableHeader(r, path)
+	if err != nil {
+		return 0, err
+	}
+	if info.N != s.n {
+		return 0, fmt.Errorf("gamesolver: solve table %s is for n=%d, solver n=%d", path, info.N, s.n)
+	}
+	if info.Canon != s.canonTag() {
+		return 0, fmt.Errorf("gamesolver: solve table %s uses canonicalization %q, solver uses %q",
+			path, info.Canon, s.canonTag())
+	}
+	maxV := s.n * s.n
+	var rec [9]byte
+	loaded := 0
+	for i := 0; i < info.States; i++ {
+		if _, err := readFull(r, rec[:]); err != nil {
+			return loaded, fmt.Errorf("gamesolver: solve table %s truncated at state %d/%d: %w",
+				path, i, info.States, err)
+		}
+		k := binary.LittleEndian.Uint64(rec[:8])
+		v := rec[8]
+		if k == 0 || k&s.selfMask != s.selfMask || int(v) > maxV {
+			return loaded, fmt.Errorf("gamesolver: solve table %s has corrupt state %d/%d", path, i, info.States)
+		}
+		if s.memo.put(k, v) {
+			loaded++
+		}
+	}
+	s.stats.tableLoaded.Add(uint64(loaded))
+	mTableLoads.Inc()
+	s.flushMetrics()
+	return loaded, nil
+}
+
+// ReadTableInfo parses only a solve table's header — cheap enough to
+// probe for compatible tables before constructing a solver.
+func ReadTableInfo(path string) (TableInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	defer f.Close()
+	return readTableHeader(bufio.NewReader(f), path)
+}
+
+func readTableHeader(r *bufio.Reader, path string) (TableInfo, error) {
+	magic, err := r.ReadString('\n')
+	if err != nil || strings.TrimSuffix(magic, "\n") != tableMagic {
+		return TableInfo{}, fmt.Errorf("gamesolver: %s is not a solve table", path)
+	}
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return TableInfo{}, fmt.Errorf("gamesolver: %s: truncated header", path)
+	}
+	var info TableInfo
+	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"), "n=%d canon=%s states=%d",
+		&info.N, &info.Canon, &info.States); err != nil {
+		return TableInfo{}, fmt.Errorf("gamesolver: %s: bad header %q", path, strings.TrimSpace(header))
+	}
+	if info.N < 1 || info.N > HardMaxN || info.States < 0 {
+		return TableInfo{}, fmt.Errorf("gamesolver: %s: implausible header %q", path, strings.TrimSpace(header))
+	}
+	return info, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

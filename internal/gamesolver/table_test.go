@@ -1,0 +1,282 @@
+package gamesolver
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func solvedTablePath(t *testing.T, n int) string {
+	t.Helper()
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Value()
+	path := filepath.Join(t.TempDir(), "table.solvetable")
+	if err := s.SaveTable(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTableRoundtrip: save a solved table, load it into a fresh solver,
+// and verify the fresh solver answers from the table alone — zero new
+// states explored for the root query.
+func TestTableRoundtrip(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Value()
+	path := filepath.Join(t.TempDir(), "n4.solvetable")
+	if err := s.SaveTable(path); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := ReadTableInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 4 || info.Canon != canonVersion || info.States != s.StatesExplored() {
+		t.Fatalf("header %+v, want n=4 canon=%s states=%d", info, canonVersion, s.StatesExplored())
+	}
+
+	fresh, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fresh.LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != s.StatesExplored() {
+		t.Fatalf("loaded %d states, table has %d", loaded, s.StatesExplored())
+	}
+	if v, ok := fresh.CachedValue(); !ok || v != want {
+		t.Fatalf("CachedValue = %d,%v after load, want %d,true", v, ok, want)
+	}
+	before := fresh.StatesExplored()
+	if got := fresh.Value(); got != want {
+		t.Fatalf("Value after load = %d, want %d", got, want)
+	}
+	if after := fresh.StatesExplored(); after != before {
+		t.Fatalf("solve after a full table load explored %d new states", after-before)
+	}
+}
+
+// TestTableDeterministicBytes: two independent solves of the same game
+// must serialize to identical bytes, and a load/save cycle must be a
+// byte-level identity.
+func TestTableDeterministicBytes(t *testing.T) {
+	read := func(path string) []byte {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := read(solvedTablePath(t, 4))
+	b := read(solvedTablePath(t, 4))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two solves of the same game serialized differently")
+	}
+
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := solvedTablePath(t, 4)
+	if _, err := s.LoadTable(first); err != nil {
+		t.Fatal(err)
+	}
+	resaved := filepath.Join(t.TempDir(), "resaved.solvetable")
+	if err := s.SaveTable(resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(read(first), read(resaved)) {
+		t.Fatal("load+save is not a byte identity")
+	}
+}
+
+// TestTableMismatchRejected: wrong n and wrong canonicalization version
+// are both hard errors, never silent wrong answers.
+func TestTableMismatchRejected(t *testing.T) {
+	path := solvedTablePath(t, 4)
+
+	s5, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s5.LoadTable(path); err == nil || !strings.Contains(err.Error(), "n=4") {
+		t.Fatalf("n mismatch not rejected: %v", err)
+	}
+
+	raw, err := New(4, WithoutCanonicalization())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.LoadTable(path); err == nil || !strings.Contains(err.Error(), "canonicalization") {
+		t.Fatalf("canon mismatch not rejected: %v", err)
+	}
+	// And the symmetric direction: a raw table into a canonical solver.
+	raw.Value()
+	rawPath := filepath.Join(t.TempDir(), "raw.solvetable")
+	if err := raw.SaveTable(rawPath); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := canon.LoadTable(rawPath); err == nil {
+		t.Fatal("raw/1 table loaded into a cells/1 solver")
+	}
+}
+
+// TestTableCorruptionRejected covers bad magic, truncation mid-record,
+// an understated header, and corrupt state masks.
+func TestTableCorruptionRejected(t *testing.T) {
+	path := solvedTablePath(t, 4)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	load := func(p string) error {
+		s, err := New(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.LoadTable(p)
+		return err
+	}
+
+	if err := load(write("magic", append([]byte("not a table\n"), good...))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := load(write("trunc", good[:len(good)-5])); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+	// Zero out a record's mask: violates the reflexive-diagonal invariant.
+	headerEnd := bytes.IndexByte(good[len(tableMagic)+1:], '\n') + len(tableMagic) + 2
+	bad := append([]byte(nil), good...)
+	for i := headerEnd; i < headerEnd+8; i++ {
+		bad[i] = 0
+	}
+	if err := load(write("zeromask", bad)); err == nil {
+		t.Fatal("zero state mask accepted")
+	}
+	if _, err := ReadTableInfo(write("empty", nil)); err == nil {
+		t.Fatal("empty file accepted as a table")
+	}
+}
+
+// TestTablePartialResume: a table holding only part of the state space
+// (an interrupted solve's autosave) must load cleanly and leave the next
+// solve less work to do.
+func TestTablePartialResume(t *testing.T) {
+	full, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.Value()
+	total := full.StatesExplored()
+
+	// Fabricate the partial table by rewriting the full one with half
+	// its records (and a matching header count).
+	path := filepath.Join(t.TempDir(), "n4.solvetable")
+	if err := full.SaveTable(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the SECOND half of the records: masks sort ascending, the
+	// near-identity root states sit at the front, so dropping the front
+	// forces the resumed solve to do real work before memo hits kick in.
+	keep := total / 2
+	headerEnd := bytes.IndexByte(good[len(tableMagic)+1:], '\n') + len(tableMagic) + 2
+	var buf bytes.Buffer
+	buf.WriteString(tableMagic + "\n")
+	header := string(good[len(tableMagic)+1 : headerEnd-1])
+	idx := strings.LastIndex(header, "states=")
+	buf.WriteString(header[:idx])
+	buf.WriteString("states=")
+	buf.WriteString(itoa(keep))
+	buf.WriteByte('\n')
+	buf.Write(good[headerEnd+9*(total-keep):])
+	partial := filepath.Join(t.TempDir(), "partial.solvetable")
+	if err := os.WriteFile(partial, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := s.LoadTable(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != keep {
+		t.Fatalf("loaded %d of %d partial states", loaded, keep)
+	}
+	if got := s.Value(); got != want {
+		t.Fatalf("resumed solve got %d, want %d", got, want)
+	}
+	if st := s.Stats(); st.TableLoaded != uint64(keep) {
+		t.Fatalf("Stats.TableLoaded = %d, want %d", st.TableLoaded, keep)
+	}
+	// The resume did real work (root was not preloaded), but preloaded
+	// entries cut off their subtrees, so the final state count lands
+	// strictly between the partial table and the cold solve's total.
+	if got := s.StatesExplored(); got <= keep || got > total {
+		t.Fatalf("resumed solve ended with %d states (partial %d, full %d)", got, keep, total)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestDeepestLineCertifiesN6 pins the anytime search's headline claim:
+// with a generous budget it reaches depth ⌈(3·6−1)/2⌉−2 = 7 at n = 6,
+// matching the exact solver's t*(T6).
+func TestDeepestLineCertifiesN6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	line, depth, err := DeepestLine(6, 6000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth < 7 {
+		t.Fatalf("DeepestLine(6) certified only %d rounds, want >= 7", depth)
+	}
+	if len(line) < depth {
+		t.Fatalf("witness line has %d trees for depth %d", len(line), depth)
+	}
+}

@@ -20,8 +20,11 @@ import (
 //	GET /results/campaigns  ingested campaigns with cell counts and pins
 //	GET /results/diff       ?a=&b= content-address diff of two campaigns
 //	GET /results/curves     measured bound curves joined against exact
-//	                        gamesolver values; filters adversary, goal,
-//	                        campaign
+//	                        gamesolver values — solved implicitly for
+//	                        small n, loaded from warehoused solve tables
+//	                        (store solvetables/, written by exact-solver
+//	                        -table) for larger n; filters adversary,
+//	                        goal, campaign
 //
 // Every finished campaign the daemon runs is auto-ingested under its run
 // id, so /results is eventually consistent with /campaigns without any

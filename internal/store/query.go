@@ -4,9 +4,9 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"dyntreecast/internal/gamesolver"
@@ -265,40 +265,71 @@ type Curve struct {
 	Points   []CurvePoint `json:"points"`
 }
 
-// exactValues memoizes the gamesolver's exact broadcast values by n —
-// solving is exponential, and every curves query wants the same handful
-// of small ns.
-var exactValues = struct {
-	mu sync.Mutex
-	v  map[int]int
-}{v: make(map[int]int)}
-
-// exactValue returns the exact adversarial broadcast value for n, or nil
-// where the solver cannot reach it (n < 2 or beyond gamesolver.MaxN).
-// Only the broadcast goal has a solver.
-func exactValue(goal string, n int) *int {
-	if goal != "broadcast" || n < 2 || n > gamesolver.MaxN {
+// exactValue returns the exact adversarial broadcast value for n, or
+// nil where no value is available without unbounded work. Values are
+// memoized per store. Three tiers:
+//
+//   - n ≤ gamesolver.MaxN: solved implicitly (milliseconds); the result
+//     is also persisted to the warehouse's solvetables/ dir best-effort,
+//     so the next process start skips even that.
+//   - gamesolver.MaxN < n ≤ gamesolver.HardMaxN: served only when a
+//     solve table for this n (written by cmd/exact-solver -table, or a
+//     previous tier-1 persist) already holds the root value — a curves
+//     query never triggers an hours-long solve. Partial tables (an
+//     interrupted solve's autosave) are loaded but do not answer until
+//     the root state is present.
+//   - otherwise: nil. Only the broadcast goal has a solver.
+func (s *Store) exactValue(goal string, n int) *int {
+	if goal != "broadcast" || n < 2 || n > gamesolver.HardMaxN {
 		return nil
 	}
-	exactValues.mu.Lock()
-	defer exactValues.mu.Unlock()
-	if v, ok := exactValues.v[n]; ok {
+	s.exactMu.Lock()
+	defer s.exactMu.Unlock()
+	if v, ok := s.exactVals[n]; ok {
 		return &v
 	}
-	solver, err := gamesolver.New(n)
+	path := s.SolveTablePath(n)
+	if n <= gamesolver.MaxN {
+		solver, err := gamesolver.New(n)
+		if err != nil {
+			return nil
+		}
+		_, _ = solver.LoadTable(path) // pre-warm if a table is already there
+		v := solver.Value()
+		s.exactVals[n] = v
+		if _, err := os.Stat(path); err != nil {
+			_ = solver.SaveTable(path) // best-effort persist for next open
+		}
+		return &v
+	}
+	// Big n: probe the header first — it is a cheap read and rules out
+	// missing or incompatible tables before the solver's eager
+	// permutation tables are built.
+	if _, err := gamesolver.ReadTableInfo(path); err != nil {
+		return nil
+	}
+	solver, err := gamesolver.New(n, gamesolver.WithMaxN(n))
 	if err != nil {
 		return nil
 	}
-	v := solver.Value()
-	exactValues.v[n] = v
+	if _, err := solver.LoadTable(path); err != nil {
+		return nil
+	}
+	v, ok := solver.CachedValue()
+	if !ok {
+		return nil
+	}
+	s.exactVals[n] = v
 	return &v
 }
 
 // Curves joins the warehouse's measured values against exact gamesolver
 // values: one curve per (scenario, goal), one point per n, each point
 // carrying every matching campaign's measurement plus the exact value
-// where the solver covers that n (broadcast, 2 ≤ n ≤ gamesolver.MaxN).
-// This is the cross-campaign "how tight are the measured bounds" view.
+// where the solver covers that n — implicitly for broadcast with
+// 2 ≤ n ≤ gamesolver.MaxN, and via warehoused solve tables up to
+// gamesolver.HardMaxN (see exactValue). This is the cross-campaign
+// "how tight are the measured bounds" view.
 func (s *Store) Curves(f CurveFilter) []Curve {
 	s.mu.RLock()
 	type pointKey struct {
@@ -334,7 +365,7 @@ func (s *Store) Curves(f CurveFilter) []Curve {
 			byCurve[ck] = c
 			order = append(order, ck)
 		}
-		c.Points = append(c.Points, CurvePoint{N: k.n, Measured: measured, Exact: exactValue(k.goal, k.n)})
+		c.Points = append(c.Points, CurvePoint{N: k.n, Measured: measured, Exact: s.exactValue(k.goal, k.n)})
 	}
 	sort.Strings(order)
 	out := make([]Curve, 0, len(byCurve))

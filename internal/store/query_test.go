@@ -1,8 +1,11 @@
 package store
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -285,6 +288,70 @@ func TestCurves(t *testing.T) {
 				t.Errorf("gossip point n=%d has an exact value", p.N)
 			}
 		}
+	}
+}
+
+// TestCurvesSolveTables: exact values for n beyond the implicit solve
+// ceiling are served from warehoused solve tables — absent table means
+// no value (never an hours-long solve inside a query), present table
+// answers instantly; and solving a small n persists its table into the
+// warehouse for the next process.
+func TestCurvesSolveTables(t *testing.T) {
+	s := openStore(t)
+	spec := campaign.Spec{
+		Adversaries: []string{"random-path"},
+		Ns:          []int{4, 6},
+		Trials:      2,
+		Seed:        7,
+	}
+	runInto(t, s, "c1", spec)
+
+	exactAt := func(n int) *int {
+		t.Helper()
+		curves := s.Curves(CurveFilter{Adversary: "random-path", Goal: "broadcast"})
+		if len(curves) != 1 {
+			t.Fatalf("curves = %d, want 1", len(curves))
+		}
+		for _, p := range curves[0].Points {
+			if p.N == n {
+				return p.Exact
+			}
+		}
+		t.Fatalf("no curve point at n=%d", n)
+		return nil
+	}
+
+	// No table yet: n=6 has no exact value, and the query returns fast.
+	if v := exactAt(6); v != nil {
+		t.Fatalf("n=6 exact = %d with no solve table", *v)
+	}
+	// The n=4 point was solved implicitly AND persisted to the warehouse.
+	if v := exactAt(4); v == nil || *v != 4 {
+		t.Fatalf("n=4 exact = %v, want 4", v)
+	}
+	if _, err := os.Stat(s.SolveTablePath(4)); err != nil {
+		t.Fatalf("implicit solve did not persist its table: %v", err)
+	}
+
+	// Install a (minimal) n=6 table holding just the root state: the
+	// canonical form of the identity matrix is the identity matrix, so a
+	// single-record table already answers the root query. Value 7 is
+	// t*(T6) — what cmd/exact-solver -max-n 6 -force -table writes.
+	var root uint64
+	for y := 0; y < 6; y++ {
+		root |= 1 << (y * 7) // bit y*n+y with n=6
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "dyntreecast-solvetable/1\nn=6 canon=cells/1 states=1\n")
+	var rec [9]byte
+	binary.LittleEndian.PutUint64(rec[:8], root)
+	rec[8] = 7
+	buf.Write(rec[:])
+	if err := os.WriteFile(s.SolveTablePath(6), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v := exactAt(6); v == nil || *v != 7 {
+		t.Fatalf("n=6 exact = %v with a solve table installed, want 7", v)
 	}
 }
 

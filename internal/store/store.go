@@ -102,6 +102,12 @@ type Store struct {
 	manifests map[string]*manifest
 	rows      []Row // sorted by (Campaign, Cell) — the cursor order
 	pins      map[string]bool
+
+	// exactMu guards the per-store memo of exact gamesolver values
+	// served by Curves (query.go). Values for n beyond the implicit
+	// solve ceiling come from solve tables under solvetables/.
+	exactMu   sync.Mutex
+	exactVals map[int]int
 }
 
 // Open opens (creating if needed) the warehouse rooted at dir and
@@ -116,11 +122,15 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "campaigns"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating campaigns dir: %w", err)
 	}
+	if err := os.MkdirAll(filepath.Join(dir, "solvetables"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating solvetables dir: %w", err)
+	}
 	s := &Store{
 		root:      dir,
 		cells:     cells,
 		manifests: make(map[string]*manifest),
 		pins:      make(map[string]bool),
+		exactVals: make(map[int]int),
 	}
 	if err := s.loadPins(); err != nil {
 		return nil, err
@@ -148,6 +158,16 @@ func Open(dir string) (*Store, error) {
 
 // Root returns the warehouse directory.
 func (s *Store) Root() string { return s.root }
+
+// SolveTableDir is where the warehouse keeps persisted exact-solver
+// tables (gamesolver.SaveTable format), one per n.
+func (s *Store) SolveTableDir() string { return filepath.Join(s.root, "solvetables") }
+
+// SolveTablePath names the solve table for one n, matching the layout
+// cmd/exact-solver -table writes.
+func (s *Store) SolveTablePath(n int) string {
+	return filepath.Join(s.SolveTableDir(), fmt.Sprintf("n%d.solvetable", n))
+}
 
 func loadManifest(path string) (*manifest, error) {
 	data, err := os.ReadFile(path)
