@@ -1,0 +1,182 @@
+// Command evolve runs an evolutionary meta-campaign over the adversary
+// registry: a population of scenarios competes on stalling broadcast,
+// the fittest survive each generation, and their parameter mutations
+// form the next — lower-bound witness hunting against the paper's
+// (1+√2)n curve with ordinary campaigns doing all the measuring.
+//
+//	evolve -families beam-search,deepest-line,stale-ascending -ns 6,8 \
+//	       -population 8 -generations 5 -trials 3 -cache ~/.dyntreecast-cells
+//
+// Every generation is a normal campaign spec sharing one seed, so the
+// run inherits the campaign layer's guarantees wholesale: the report is
+// byte-identical across reruns (any -workers), surviving candidates'
+// cells are cache hits in every later generation, and an interrupted run
+// resumes from the cell cache, recomputing only unfinished cells.
+//
+// -winner-out writes the fittest final-generation scenario as a JSON
+// object consumable by cmd/campaign:
+//
+//	evolve ... -winner-out winner.json
+//	campaign -scenario "$(cat winner.json)" -ns 6 -trials 5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/evolve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "evolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("evolve", flag.ContinueOnError)
+	var (
+		famFlag  = fs.String("families", "beam-search,deepest-line,stale-ascending", "comma-separated adversary families forming generation 0")
+		nsFlag   = fs.String("ns", "6,8", "comma-separated n values every candidate is measured at")
+		trials   = fs.Int("trials", 3, "trials per grid cell")
+		pop      = fs.Int("population", 8, "candidates per generation")
+		gens     = fs.Int("generations", 5, "generations to run")
+		elite    = fs.Int("elite", 2, "top candidates surviving unchanged per generation")
+		seed     = fs.Uint64("seed", 1, "seed of the mutation stream and of every generation's campaign")
+		goal     = fs.String("goal", "broadcast", "goal: broadcast or gossip")
+		maxR     = fs.Int("max-rounds", 0, "round budget per run (0 = engine default n^2+1)")
+		workers  = fs.Int("workers", 0, "worker pool size per generation (0 = GOMAXPROCS)")
+		cacheDir = fs.String("cache", "", "content-addressed cell cache directory shared across generations and reruns")
+		format   = fs.String("format", "json", "output: json or table")
+		outPath  = fs.String("out", "", "write the report to this file instead of stdout")
+		winPath  = fs.String("winner-out", "", "write the winning scenario (cmd/campaign -scenario syntax) to this file")
+		quiet    = fs.Bool("quiet", false, "suppress the per-generation progress lines on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		return fmt.Errorf("-ns: %w", err)
+	}
+	opts := evolve.Options{
+		Families:    splitNames(*famFlag),
+		Ns:          ns,
+		Trials:      *trials,
+		Population:  *pop,
+		Generations: *gens,
+		Elite:       *elite,
+		Seed:        *seed,
+		Goal:        *goal,
+		MaxRounds:   *maxR,
+		Workers:     *workers,
+	}
+	if opts.Goal == "broadcast" {
+		opts.Goal = "" // the default; keep artifacts minimal
+	}
+	if *cacheDir != "" {
+		c, err := cache.NewDir(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache.Instrument("dir", c)
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, runErr := evolve.Run(ctx, opts)
+	if report == nil {
+		return runErr
+	}
+	if runErr != nil {
+		// Cancelled: report it, but still write the partial artifact.
+		fmt.Fprintln(os.Stderr, "evolve:", runErr)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("creating -out: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, report, *format); err != nil {
+		return err
+	}
+	if *winPath != "" {
+		data, err := json.Marshal(report.Winner)
+		if err != nil {
+			return fmt.Errorf("encoding winner: %w", err)
+		}
+		if err := os.WriteFile(*winPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing -winner-out: %w", err)
+		}
+	}
+	return runErr
+}
+
+func write(w io.Writer, report *evolve.Report, format string) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	case "table":
+		return writeTable(w, report)
+	}
+	return fmt.Errorf("unknown format %q (want json or table)", format)
+}
+
+// writeTable renders the final witnesses and the winner as a compact
+// text summary — the human-facing face of the JSON artifact.
+func writeTable(w io.Writer, r *evolve.Report) error {
+	fmt.Fprintf(w, "evolve: %d generations × %d candidates over %v (trials=%d seed=%d)\n",
+		r.Generations, r.Population, r.Families, r.Trials, r.Seed)
+	fmt.Fprintf(w, "%6s %8s %10s %12s %8s  %s\n", "n", "rounds", "zss-lower", "paper-upper", "ratio", "witness")
+	for _, wit := range r.Best {
+		fmt.Fprintf(w, "%6d %8d %10d %12d %8.3f  %s\n",
+			wit.N, wit.Rounds, wit.ZSSLower, wit.PaperUpper, wit.RatioToN, wit.Scenario)
+	}
+	fmt.Fprintf(w, "winner: %s\n", r.Winner)
+	return nil
+}
+
+func splitNames(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -195,6 +195,9 @@ func TestFamilyReusableMatchesNew(t *testing.T) {
 				}
 			}
 			const n = 9
+			if f.Feasible != nil && !f.Feasible(n, params) {
+				t.Skipf("%s infeasible at n=%d with default params", f.Name, n)
+			}
 			runner := core.NewRunner()
 			reusable, err := f.NewReusable(n, params)
 			if err != nil {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"reflect"
 	"sort"
@@ -157,7 +158,7 @@ var (
 )
 
 func init() {
-	for _, f := range builtinFamilies() {
+	for _, f := range append(builtinFamilies(), searchFamilies()...) {
 		if err := register(f, true); err != nil {
 			panic(err) // built-ins are statically correct
 		}
@@ -249,7 +250,10 @@ func familyByName(name string) (Family, bool) {
 // ParseScenario parses a command-line scenario argument: either a bare
 // family name ("random-tree") or a JSON object
 // ({"adversary":"k-leaves","params":{"k":[2,4]}}). Used by cmd/campaign
-// -scenario and cmd/sweep -scenario.
+// -scenario and cmd/sweep -scenario. Exactly one scenario is accepted:
+// trailing non-whitespace after the JSON object is an error, so a shell
+// quoting slip that crams two scenarios into one argument fails loudly
+// instead of silently dropping everything after the first object.
 func ParseScenario(s string) (Scenario, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -263,6 +267,11 @@ func ParseScenario(s string) (Scenario, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sc); err != nil {
 		return Scenario{}, fmt.Errorf("campaign: parsing scenario %q: %w", s, err)
+	}
+	// json.Decoder.Decode returns after one value; anything left over
+	// (another object, a stray token) would otherwise be lost.
+	if _, err := dec.Token(); err != io.EOF {
+		return Scenario{}, fmt.Errorf("campaign: scenario %q has trailing data after the JSON object (one scenario per -scenario flag)", s)
 	}
 	return sc, nil
 }
@@ -436,6 +445,38 @@ func expandScenario(sc Scenario) ([]groundScenario, error) {
 	return grounds, nil
 }
 
+// GroundScenarios expands sc — axis lists crossed, defaults filled,
+// values canonicalized, the family's Check run — into its ground
+// scenarios, exactly as spec compilation would. It is the exported face
+// of expandScenario for meta-campaign layers (internal/evolve) that
+// build and validate candidate scenarios against the same rules.
+func GroundScenarios(sc Scenario) ([]Scenario, error) {
+	grounds, err := expandScenario(sc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Scenario, len(grounds))
+	for i, g := range grounds {
+		out[i] = g.scenario()
+	}
+	return out, nil
+}
+
+// CellName returns the display key ("k-leaves/n=16/k=2") under which
+// RunSpec aggregates the scenario's grid cell at n. The scenario must be
+// ground — expanding to exactly one parameter assignment — since an axis
+// list names many cells.
+func CellName(sc Scenario, n int) (string, error) {
+	grounds, err := expandScenario(sc)
+	if err != nil {
+		return "", err
+	}
+	if len(grounds) != 1 {
+		return "", fmt.Errorf("campaign: scenario %s expands to %d grid cells; CellName needs a ground scenario", sc, len(grounds))
+	}
+	return grounds[0].cellName(n), nil
+}
+
 // normalizeValues canonicalizes a scenario param value: a scalar becomes
 // a one-element slice, a list (axis) becomes its normalized elements.
 func normalizeValues(raw any, kind string) ([]any, error) {
@@ -479,6 +520,9 @@ func normalizeScalar(raw any, kind string) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("want string, got %T", raw)
 		}
+		if err := checkStringParamValue(s); err != nil {
+			return nil, err
+		}
 		return s, nil
 	case BoolParam:
 		b, ok := raw.(bool)
@@ -488,6 +532,27 @@ func normalizeScalar(raw any, kind string) (any, error) {
 		return b, nil
 	}
 	return nil, fmt.Errorf("unknown param kind %q", kind)
+}
+
+// checkStringParamValue rejects string parameter values that would
+// corrupt the derived plain-text identities they are embedded in: cell
+// display keys ("family/n=8/mode=greedy" — '/' and '=' are its
+// separators), CSV artifact rows (','), and the line-oriented checkpoint
+// JSONL and progress output (control characters, including newlines).
+// Enforced in normalizeScalar so both registration-time defaults and
+// scenario values pass through it; canonical JSON identities were never
+// at risk, but the human-readable artifacts are part of the byte-identity
+// contract too.
+func checkStringParamValue(s string) error {
+	for _, r := range s {
+		switch {
+		case r == '/' || r == '=' || r == ',':
+			return fmt.Errorf("string value %q contains %q (reserved as a cell-key/CSV separator)", s, r)
+		case r < 0x20 || r == 0x7f:
+			return fmt.Errorf("string value %q contains a control character (%q)", s, r)
+		}
+	}
+	return nil
 }
 
 func toFloat(raw any) (float64, bool) {
@@ -542,8 +607,11 @@ func kFeasible(n int, p Params) bool {
 
 // builtinFamilies declares the stock registry: the six portfolio
 // adversaries of experiment.Portfolio, the Zeiner et al. restricted
-// families (k axis), and the two-phase oblivious lower-bound schedule as
-// the first multi-parameter family.
+// families (k axis), the two-phase oblivious lower-bound schedule as the
+// first multi-parameter family, and the stale-information variant of the
+// ascending-path heuristic. The search-backed families (beam-search,
+// deepest-line) are declared separately in search.go and registered by
+// the same init, after these.
 func builtinFamilies() []Family {
 	return []Family{
 		{
@@ -679,6 +747,34 @@ func builtinFamilies() []Family {
 					prefix = n / 2
 				}
 				return adversary.NewReusableTwoPhasePath(n, switchAt, prefix)
+			},
+		},
+		{
+			Name: "stale-ascending", Doc: "adaptive on lagged information: the ascending-path rule on heard counts lag rounds old",
+			Params: []Param{
+				{Name: "lag", Kind: IntParam, Default: 1, Doc: "rounds of information delay (0 = exactly ascending-path)"},
+			},
+			Check: func(p Params) error {
+				if l := p.Int("lag"); l < 0 {
+					return fmt.Errorf("lag must be >= 0, got %d", l)
+				}
+				return nil
+			},
+			New: func(_ int, p Params, _ *rng.Source) (core.Adversary, error) {
+				a, err := adversary.NewStaleAscendingPath(p.Int("lag"))
+				if err != nil {
+					return nil, err
+				}
+				return a, nil
+			},
+			NewReusable: func(_ int, p Params) (ReusableAdversary, error) {
+				// The stale adversary's ring is self-cleaning across trials,
+				// so the allocating form is its own reusable form.
+				a, err := adversary.NewStaleAscendingPath(p.Int("lag"))
+				if err != nil {
+					return nil, err
+				}
+				return a, nil
 			},
 		},
 	}

@@ -382,6 +382,75 @@ func TestParseScenario(t *testing.T) {
 	}
 }
 
+// TestParseScenarioRejectsTrailingData pins the fix for the silent-drop
+// bug: json.Decoder.Decode returns after one value, so a quoting slip
+// like '{"adversary":"k-leaves"} {"adversary":"random-tree"}' used to
+// parse clean and lose every scenario after the first.
+func TestParseScenarioRejectsTrailingData(t *testing.T) {
+	for _, bad := range []string{
+		`{"adversary":"k-leaves"} {"adversary":"random-tree"}`,
+		`{"adversary":"random-tree"}{"adversary":"random-path"}`,
+		`{"adversary":"random-tree"} garbage`,
+		`{"adversary":"random-tree"},`,
+	} {
+		if sc, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) = %+v, want trailing-data error", bad, sc)
+		} else if !strings.Contains(err.Error(), "trailing") {
+			t.Errorf("ParseScenario(%q) error %q does not name trailing data", bad, err)
+		}
+	}
+	// Trailing whitespace stays fine.
+	if _, err := ParseScenario(`{"adversary":"random-tree"}` + "  \n"); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
+// TestStringParamSeparatorsRejected pins the identity-corruption fix: a
+// string param value carrying a cell-key separator ('/', '='), a CSV
+// comma, or a control character would corrupt cell display keys, CSV
+// artifact rows, and checkpoint JSONL readability. Both spec expansion
+// and registration-time defaults must reject them.
+func TestStringParamSeparatorsRejected(t *testing.T) {
+	if err := Register(Family{
+		Name:   "string-param-probe",
+		Doc:    "test-only family with a string param",
+		Params: []Param{{Name: "mode", Kind: StringParam, Default: "greedy", Doc: "probe"}},
+		New: func(n int, _ Params, _ *rng.Source) (core.Adversary, error) {
+			return adversary.Static{Tree: tree.IdentityPath(n)}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"a/b", "a=b", "a,b", "a\nb", "a\tb", "\x00", "del\x7f"} {
+		sc := Scenario{Adversary: "string-param-probe", Params: map[string]any{"mode": bad}}
+		if _, err := expandScenario(sc); err == nil {
+			t.Errorf("expandScenario accepted string param %q", bad)
+		}
+	}
+	// Clean values (including spaces and unicode) still pass, and the
+	// cell key they produce stays parseable.
+	sc := Scenario{Adversary: "string-param-probe", Params: map[string]any{"mode": "fair game π"}}
+	gs, err := expandScenario(sc)
+	if err != nil {
+		t.Fatalf("clean string param rejected: %v", err)
+	}
+	if got := gs[0].cellName(8); got != "string-param-probe/n=8/mode=fair game π" {
+		t.Errorf("cell name = %q", got)
+	}
+	// Registration-time defaults go through the same gate.
+	err = Register(Family{
+		Name:   "string-param-bad-default",
+		Doc:    "test-only family with a corrupt default",
+		Params: []Param{{Name: "mode", Kind: StringParam, Default: "a/b", Doc: "probe"}},
+		New: func(n int, _ Params, _ *rng.Source) (core.Adversary, error) {
+			return adversary.Static{Tree: tree.IdentityPath(n)}, nil
+		},
+	})
+	if err == nil {
+		t.Error("Register accepted a separator-carrying string default")
+	}
+}
+
 // TestFamiliesOrderStable: built-ins come first in declaration order, so
 // the experiment portfolio and legacy expansion never reshuffle.
 func TestFamiliesOrderStable(t *testing.T) {
@@ -428,5 +497,94 @@ func TestScenarioFlag(t *testing.T) {
 	}
 	if s := f.String(); !strings.Contains(s, "random-tree") || !strings.Contains(s, "k-leaves") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestGroundScenariosAndCellName: the exported expansion helpers used by
+// meta-campaign layers follow exactly the spec-compilation rules — axis
+// cross products, default filling, canonical values — and CellName names
+// the same cell RunSpec aggregates under.
+func TestGroundScenariosAndCellName(t *testing.T) {
+	grounds, err := GroundScenarios(Scenario{Adversary: "k-leaves", Params: map[string]any{"k": []any{2, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grounds) != 2 {
+		t.Fatalf("axis expanded to %d grounds, want 2: %v", len(grounds), grounds)
+	}
+	if k, ok := grounds[0].Params["k"].(float64); !ok || k != 2 {
+		t.Errorf("ground param not canonicalized: %#v", grounds[0].Params["k"])
+	}
+	name, err := CellName(grounds[0], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "k-leaves/n=16/k=2" {
+		t.Errorf("CellName = %q, want k-leaves/n=16/k=2", name)
+	}
+	if _, err := CellName(Scenario{Adversary: "k-leaves", Params: map[string]any{"k": []any{2, 4}}}, 16); err == nil {
+		t.Error("CellName accepted an axis scenario")
+	}
+	if _, err := GroundScenarios(Scenario{Adversary: "no-such-family"}); err == nil {
+		t.Error("GroundScenarios accepted an unknown family")
+	}
+}
+
+// TestFloatBoolParamCanonicalization: float and bool params — exercised
+// by no built-in family — normalize, render, and expand like the int and
+// string kinds.
+func TestFloatBoolParamCanonicalization(t *testing.T) {
+	if err := Register(Family{
+		Name: "t-knobs",
+		Params: []Param{
+			{Name: "rate", Kind: FloatParam, Default: 1.0, Doc: "a float knob"},
+			{Name: "flip", Kind: BoolParam, Default: false, Doc: "a bool knob"},
+		},
+		New: func(n int, p Params, _ *rng.Source) (core.Adversary, error) {
+			return adversary.Func(func(v core.View) *tree.Tree {
+				s, err := tree.Star(v.N(), 0)
+				if err != nil {
+					return nil
+				}
+				return s
+			}), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// int-typed Go values reach float params through toFloat; fractional
+	// floats and bools render into the cell key verbatim.
+	grounds, err := GroundScenarios(Scenario{Adversary: "t-knobs",
+		Params: map[string]any{"rate": []any{3, 2.5}, "flip": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grounds) != 2 {
+		t.Fatalf("expanded to %d grounds, want 2", len(grounds))
+	}
+	whole, err := CellName(grounds[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != "t-knobs/n=4/rate=3/flip=true" {
+		t.Errorf("CellName = %q, want t-knobs/n=4/rate=3/flip=true", whole)
+	}
+	frac, err := CellName(grounds[1], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != "t-knobs/n=4/rate=2.5/flip=true" {
+		t.Errorf("CellName = %q, want t-knobs/n=4/rate=2.5/flip=true", frac)
+	}
+
+	// Kind mismatches are rejected for both new kinds.
+	for _, bad := range []map[string]any{
+		{"rate": "fast"},
+		{"flip": 1},
+	} {
+		if _, err := GroundScenarios(Scenario{Adversary: "t-knobs", Params: bad}); err == nil {
+			t.Errorf("params %v accepted, want kind error", bad)
+		}
 	}
 }

@@ -1,0 +1,208 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dyntreecast/internal/adversary"
+	"dyntreecast/internal/core"
+	"dyntreecast/internal/gamesolver"
+	"dyntreecast/internal/metrics"
+	"dyntreecast/internal/rng"
+	"dyntreecast/internal/tree"
+)
+
+// This file implements the search-backed adversary families (DESIGN.md
+// §3j): registry entries whose adversary is not a dynamics rule but the
+// replay of a schedule found by an offline search — the beam search over
+// tree schedules (adversary.BeamSearch) and the budgeted game-tree line
+// search (gamesolver.DeepestLine). Both searches are deterministic
+// functions of (n, params) alone — the beam's randomness comes from its
+// own seed parameter, never from the trial stream — so the found schedule
+// is part of the cell's identity: every trial of a cell replays the same
+// schedule, reruns are byte-identical, and the content-addressed cell
+// cache applies unchanged (a warm rerun serves the cell without ever
+// constructing the adversary, hence without re-searching).
+//
+// Within one process the schedule itself is memoized per (family, n,
+// params): a cell's worth of trials — or a whole grid column re-visited
+// by a later campaign in the same process — runs the search exactly once,
+// whether jobs go through the per-trial path (New) or the batched path
+// (NewReusable).
+
+// mScheduleSearches counts actual search executions (memo misses); the
+// ratio to jobs completed shows how much the schedule memo saves.
+var mScheduleSearches = metrics.Default.Counter("campaign_schedule_searches_total",
+	"Offline schedule searches executed by the search-backed families (misses of the per-process schedule memo).")
+
+type schedEntry struct {
+	once  sync.Once
+	trees []*tree.Tree
+	err   error
+}
+
+var (
+	schedMu       sync.Mutex
+	schedMemo     = map[string]*schedEntry{}
+	schedSearches atomic.Int64
+)
+
+// scheduleFor returns the memoized schedule for key, running search at
+// most once per process per key (concurrent callers for the same key
+// block on the one search). Errors are memoized too: the search is a
+// deterministic function of the key, so a failure would only repeat.
+func scheduleFor(key string, search func() ([]*tree.Tree, error)) ([]*tree.Tree, error) {
+	schedMu.Lock()
+	e := schedMemo[key]
+	if e == nil {
+		e = &schedEntry{}
+		schedMemo[key] = e
+	}
+	schedMu.Unlock()
+	e.once.Do(func() {
+		schedSearches.Add(1)
+		mScheduleSearches.Inc()
+		e.trees, e.err = search()
+	})
+	return e.trees, e.err
+}
+
+// scheduleSearchCount reports how many searches have actually executed in
+// this process — the test hook behind the "warm reruns never re-search"
+// guarantee.
+func scheduleSearchCount() int64 { return schedSearches.Load() }
+
+// beamConfigFromParams validates the beam-search family's ground params
+// and maps them onto adversary.BeamConfig. The family declares explicit
+// defaults, so a 0 in random_moves/random_trees is a real request for
+// none of those proposals — which BeamConfig (whose zero value means
+// "default 4") spells as a negative count.
+func beamConfigFromParams(p Params) (adversary.BeamConfig, error) {
+	width, moves, trees := p.Int("width"), p.Int("random_moves"), p.Int("random_trees")
+	maxRounds, seed := p.Int("max_rounds"), p.Int("seed")
+	switch {
+	case width < 1:
+		return adversary.BeamConfig{}, fmt.Errorf("beam-search: width must be >= 1, got %d", width)
+	case moves < 0:
+		return adversary.BeamConfig{}, fmt.Errorf("beam-search: random_moves must be >= 0, got %d", moves)
+	case trees < 0:
+		return adversary.BeamConfig{}, fmt.Errorf("beam-search: random_trees must be >= 0, got %d", trees)
+	case maxRounds < 0:
+		return adversary.BeamConfig{}, fmt.Errorf("beam-search: max_rounds must be >= 0, got %d (0 means the n²+1 bound)", maxRounds)
+	case seed < 0:
+		return adversary.BeamConfig{}, fmt.Errorf("beam-search: seed must be >= 0, got %d", seed)
+	}
+	cfg := adversary.BeamConfig{Width: width, RandomMoves: moves, RandomTrees: trees,
+		MaxRounds: maxRounds, Seed: uint64(seed)}
+	if moves == 0 {
+		cfg.RandomMoves = -1
+	}
+	if trees == 0 {
+		cfg.RandomTrees = -1
+	}
+	return cfg, nil
+}
+
+func beamSchedule(n int, p Params) ([]*tree.Tree, error) {
+	cfg, err := beamConfigFromParams(p)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("beam-search/n=%d/%s", n, canonicalParams(p))
+	return scheduleFor(key, func() ([]*tree.Tree, error) {
+		rep, _ := adversary.BeamSearch(n, cfg)
+		if len(rep.Trees) == 0 {
+			// Degenerate n; Replay needs at least one tree to be a valid
+			// adversary.
+			return []*tree.Tree{tree.IdentityPath(n)}, nil
+		}
+		return rep.Trees, nil
+	})
+}
+
+func deepLineSchedule(n int, p Params) ([]*tree.Tree, error) {
+	budget, width := p.Int("budget"), p.Int("width")
+	key := fmt.Sprintf("deepest-line/n=%d/%s", n, canonicalParams(p))
+	return scheduleFor(key, func() ([]*tree.Tree, error) {
+		line, _, err := gamesolver.DeepestLine(n, budget, width)
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 {
+			return []*tree.Tree{tree.IdentityPath(n)}, nil
+		}
+		return line, nil
+	})
+}
+
+// searchFamilies declares the search-backed registry entries, installed
+// by the same init as builtinFamilies (after them, so the portfolio
+// prefix and legacy expansion order never move).
+func searchFamilies() []Family {
+	return []Family{
+		{
+			Name: "beam-search",
+			Doc:  "replay the best schedule found by an offline beam search over tree schedules (lower-bound witness hunting)",
+			Params: []Param{
+				{Name: "width", Kind: IntParam, Default: 8, Doc: "beam width (states kept per depth)"},
+				{Name: "random_moves", Kind: IntParam, Default: 4, Doc: "random-path proposals per state per round (0 = none)"},
+				{Name: "random_trees", Kind: IntParam, Default: 4, Doc: "random-tree proposals per state per round (0 = none)"},
+				{Name: "max_rounds", Kind: IntParam, Default: 0, Doc: "search depth cap (0 = the n²+1 trivial bound)"},
+				{Name: "seed", Kind: IntParam, Default: 1, Doc: "seed of the search's random proposals (part of the cell identity, independent of the trial stream)"},
+			},
+			Check: func(p Params) error {
+				_, err := beamConfigFromParams(p)
+				return err
+			},
+			New: func(n int, p Params, _ *rng.Source) (core.Adversary, error) {
+				sched, err := beamSchedule(n, p)
+				if err != nil {
+					return nil, err
+				}
+				return adversary.Replay{Trees: sched}, nil
+			},
+			NewReusable: func(n int, p Params) (ReusableAdversary, error) {
+				sched, err := beamSchedule(n, p)
+				if err != nil {
+					return nil, err
+				}
+				return adversary.Stateless{Adversary: adversary.Replay{Trees: sched}}, nil
+			},
+		},
+		{
+			Name: "deepest-line",
+			Doc:  "replay the deepest surviving line found by the budgeted game-tree search (n ≤ 8)",
+			Params: []Param{
+				{Name: "budget", Kind: IntParam, Default: 2000, Doc: "state expansions before the search stops"},
+				{Name: "width", Kind: IntParam, Default: 4, Doc: "branching cap per search state"},
+			},
+			Check: func(p Params) error {
+				if b := p.Int("budget"); b < 1 {
+					return fmt.Errorf("budget must be >= 1, got %d", b)
+				}
+				if w := p.Int("width"); w < 1 {
+					return fmt.Errorf("width must be >= 1, got %d", w)
+				}
+				return nil
+			},
+			Feasible: func(n int, _ Params) bool {
+				return n >= 1 && n <= gamesolver.HardMaxN
+			},
+			New: func(n int, p Params, _ *rng.Source) (core.Adversary, error) {
+				sched, err := deepLineSchedule(n, p)
+				if err != nil {
+					return nil, err
+				}
+				return adversary.Replay{Trees: sched}, nil
+			},
+			NewReusable: func(n int, p Params) (ReusableAdversary, error) {
+				sched, err := deepLineSchedule(n, p)
+				if err != nil {
+					return nil, err
+				}
+				return adversary.Stateless{Adversary: adversary.Replay{Trees: sched}}, nil
+			},
+		},
+	}
+}

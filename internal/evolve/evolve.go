@@ -1,0 +1,425 @@
+// Package evolve runs evolutionary meta-campaigns over the adversary
+// registry: a population of ground scenarios competes on how long its
+// adversaries stall broadcast, the fittest survive, and their parameter
+// mutations form the next generation. The point is lower-bound witness
+// hunting against the paper's (1+√2)n upper-bound curve — every measured
+// round count is an achieved schedule, hence a certified lower-bound
+// witness for t*(Tn) — with the campaign layer doing all the running.
+//
+// Each generation is an ordinary campaign spec (the population's
+// scenarios × the configured ns × trials) executed through
+// campaign.RunSpec, so every determinism and caching property of
+// campaigns carries over wholesale: the same options produce a
+// byte-identical Report, surviving candidates' cells are content-
+// addressed cache hits in every later generation (the spec seed never
+// changes, so a cell's identity never does), and an interrupted
+// generation resumes from the cache, recomputing only its unfinished
+// cells. Mutation randomness comes from a dedicated stream seeded by
+// Options.Seed — never from the campaign's trial streams — so the
+// population trajectory is a pure function of the options.
+package evolve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"dyntreecast/internal/bounds"
+	"dyntreecast/internal/campaign"
+	"dyntreecast/internal/campaign/cache"
+	"dyntreecast/internal/rng"
+)
+
+// Options configures an evolutionary meta-campaign.
+type Options struct {
+	// Families are the registered adversary families the population draws
+	// from. Generation 0 contains each family's default assignment
+	// (required numeric params are seeded with 2), so no family starts
+	// unexplored.
+	Families []string
+	// Ns are the grid sizes every candidate is measured at.
+	Ns []int
+	// Trials per grid cell.
+	Trials int
+	// Population is the number of candidates per generation.
+	Population int
+	// Generations is how many generations to run.
+	Generations int
+	// Elite is how many top candidates survive unchanged into the next
+	// generation (the rest are their mutations). At least 1: elitism is
+	// what makes the best witness monotone across generations.
+	Elite int
+	// Seed drives both the mutation stream and every generation's
+	// campaign seed. The whole run is a pure function of Options.
+	Seed uint64
+	// Goal is "broadcast" (default) or "gossip".
+	Goal string
+	// MaxRounds caps each run (0 = the engine default n²+1).
+	MaxRounds int
+	// Workers sizes each generation's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, is the content-addressed cell store shared by
+	// every generation — surviving candidates re-measure for free, and an
+	// interrupted run resumes past every finished cell.
+	Cache cache.Cache
+	// Log, when non-nil, receives one human-readable progress line per
+	// generation. Decoration only: the Report is identical without it.
+	Log io.Writer
+}
+
+func (o *Options) validate() error {
+	switch {
+	case len(o.Families) == 0:
+		return fmt.Errorf("evolve: at least one family required")
+	case len(o.Ns) == 0:
+		return fmt.Errorf("evolve: at least one n required")
+	case o.Trials < 1:
+		return fmt.Errorf("evolve: trials must be >= 1, got %d", o.Trials)
+	case o.Population < 1:
+		return fmt.Errorf("evolve: population must be >= 1, got %d", o.Population)
+	case o.Generations < 1:
+		return fmt.Errorf("evolve: generations must be >= 1, got %d", o.Generations)
+	case o.Elite < 1 || o.Elite > o.Population:
+		return fmt.Errorf("evolve: elite must be in [1, population], got %d", o.Elite)
+	}
+	return nil
+}
+
+// CellScore is one candidate's measurement at one n: the longest run
+// observed in its cell (an achieved schedule, hence a witness).
+type CellScore struct {
+	N      int    `json:"n"`
+	Cell   string `json:"cell"`
+	Rounds int    `json:"rounds"`
+}
+
+// Candidate is one population member with its generation's measurements.
+type Candidate struct {
+	Scenario campaign.Scenario `json:"scenario"`
+	// Fitness is the mean of rounds/n over the ns the candidate is
+	// feasible at — the normalized stalling factor, comparable across
+	// grid sizes (the paper's curves put it between 1 and 1+√2).
+	Fitness float64     `json:"fitness"`
+	Cells   []CellScore `json:"cells"`
+}
+
+// Witness is the best lower-bound witness found for one n, reported
+// against the paper's bound curve.
+type Witness struct {
+	N          int               `json:"n"`
+	Rounds     int               `json:"rounds"`
+	Cell       string            `json:"cell"`
+	Scenario   campaign.Scenario `json:"scenario"`
+	ZSSLower   int               `json:"zss_lower"`   // ⌈(3n−1)/2⌉−2, the known lower bound
+	PaperUpper int               `json:"paper_upper"` // ⌈(1+√2)n−1⌉, Theorem 3.1
+	RatioToN   float64           `json:"ratio_to_n"`  // rounds/n; 1+√2 ≈ 2.414 is the ceiling
+}
+
+// Generation is one generation's outcome: its candidates ranked fittest
+// first, and the best witness per n observed so far (monotone across
+// generations, thanks to elitism).
+type Generation struct {
+	Index      int         `json:"index"`
+	Candidates []Candidate `json:"candidates"`
+	Best       []Witness   `json:"best"`
+}
+
+// Report is the machine-diffable artifact of a run. Like campaign
+// outcomes it carries no timestamps, host details, or cache-provenance
+// counts, so two runs with equal Options emit identical bytes — warm
+// cache or cold.
+type Report struct {
+	Families    []string          `json:"families"`
+	Ns          []int             `json:"ns"`
+	Trials      int               `json:"trials"`
+	Population  int               `json:"population"`
+	Generations int               `json:"generations"`
+	Elite       int               `json:"elite"`
+	Seed        uint64            `json:"seed"`
+	Goal        string            `json:"goal,omitempty"`
+	MaxRounds   int               `json:"max_rounds,omitempty"`
+	Results     []Generation      `json:"results"`
+	Best        []Witness         `json:"best"`   // final best witness per n
+	Winner      campaign.Scenario `json:"winner"` // fittest candidate of the last generation
+}
+
+// Run executes the meta-campaign. On context cancellation the partial
+// Report (every completed generation) is returned alongside the error.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	families := make(map[string]campaign.Family, len(opts.Families))
+	for _, f := range campaign.Families() {
+		families[f.Name] = f
+	}
+	for _, name := range opts.Families {
+		if _, ok := families[name]; !ok {
+			return nil, fmt.Errorf("evolve: unknown adversary family %q (known: %v)", name, campaign.Adversaries())
+		}
+	}
+
+	src := rng.New(opts.Seed)
+	pop, err := seedPopulation(src, families, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Families: opts.Families, Ns: opts.Ns, Trials: opts.Trials,
+		Population: opts.Population, Generations: opts.Generations,
+		Elite: opts.Elite, Seed: opts.Seed, Goal: opts.Goal, MaxRounds: opts.MaxRounds,
+	}
+	best := map[int]Witness{} // per n, best so far
+	for gen := 0; gen < opts.Generations; gen++ {
+		spec := campaign.Spec{
+			Name:      fmt.Sprintf("evolve-gen%d", gen),
+			Scenarios: pop,
+			Ns:        opts.Ns,
+			Trials:    opts.Trials,
+			Seed:      opts.Seed, // constant across generations: survivors' cells stay cache hits
+			Goal:      opts.Goal,
+			MaxRounds: opts.MaxRounds,
+		}
+		out, runErr := campaign.RunSpec(ctx, spec, campaign.Config{Workers: opts.Workers, Cache: opts.Cache})
+		if out == nil {
+			return report, runErr
+		}
+		scored := scorePopulation(pop, families, opts.Ns, out.Cells)
+		for _, c := range scored {
+			for _, cs := range c.Cells {
+				if w, ok := best[cs.N]; !ok || cs.Rounds > w.Rounds {
+					best[cs.N] = Witness{
+						N: cs.N, Rounds: cs.Rounds, Cell: cs.Cell, Scenario: c.Scenario,
+						ZSSLower: bounds.Lower(cs.N), PaperUpper: bounds.UpperLinear(cs.N),
+						RatioToN: float64(cs.Rounds) / float64(cs.N),
+					}
+				}
+			}
+		}
+		g := Generation{Index: gen, Candidates: scored, Best: witnessList(best, opts.Ns)}
+		report.Results = append(report.Results, g)
+		if opts.Log != nil {
+			top := "none"
+			if len(scored) > 0 {
+				top = fmt.Sprintf("%s fitness=%.4f", scored[0].Scenario, scored[0].Fitness)
+			}
+			fmt.Fprintf(opts.Log, "evolve: gen %d/%d: %d candidates, %d jobs (%d executed, %d cached), best %s\n",
+				gen+1, opts.Generations, len(scored), out.Jobs, out.Executed, out.CacheHits, top)
+		}
+		if runErr != nil {
+			report.Best = witnessList(best, opts.Ns)
+			return report, runErr
+		}
+		if gen < opts.Generations-1 {
+			pop = nextPopulation(src, families, scored, opts)
+		}
+	}
+	report.Best = witnessList(best, opts.Ns)
+	if len(report.Results) > 0 && len(report.Results[len(report.Results)-1].Candidates) > 0 {
+		report.Winner = report.Results[len(report.Results)-1].Candidates[0].Scenario
+	}
+	return report, nil
+}
+
+// witnessList renders the running-best map as a slice in Ns order, so
+// the JSON artifact has a fixed field order.
+func witnessList(best map[int]Witness, ns []int) []Witness {
+	out := make([]Witness, 0, len(best))
+	for _, n := range ns {
+		if w, ok := best[n]; ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// candidateKey is the dedup identity of a candidate: Scenario.String
+// marshals params with sorted keys, so equal assignments collide.
+func candidateKey(sc campaign.Scenario) string { return sc.String() }
+
+// feasibleSomewhere reports whether the family can run the assignment at
+// at least one of the configured ns — a candidate that cannot be
+// measured anywhere would pollute the population with fitness 0.
+func feasibleSomewhere(f campaign.Family, sc campaign.Scenario, ns []int) bool {
+	if f.Feasible == nil {
+		return true
+	}
+	for _, n := range ns {
+		if f.Feasible(n, campaign.Params(sc.Params)) {
+			return true
+		}
+	}
+	return false
+}
+
+// seedPopulation builds generation 0: each family's default assignment
+// first (required numeric params seeded with 2), then mutations of those
+// seeds round-robin until the population is full.
+func seedPopulation(src *rng.Source, families map[string]campaign.Family, opts Options) ([]campaign.Scenario, error) {
+	var pop []campaign.Scenario
+	seen := map[string]bool{}
+	for _, name := range opts.Families {
+		f := families[name]
+		params := map[string]any{}
+		for _, p := range f.Params {
+			if p.Default != nil {
+				continue
+			}
+			switch p.Kind {
+			case campaign.IntParam, campaign.FloatParam:
+				params[p.Name] = float64(2)
+			default:
+				return nil, fmt.Errorf("evolve: family %q requires non-numeric param %q with no default; cannot seed it", name, p.Name)
+			}
+		}
+		if len(params) == 0 {
+			params = nil
+		}
+		grounds, err := campaign.GroundScenarios(campaign.Scenario{Adversary: name, Params: params})
+		if err != nil {
+			return nil, fmt.Errorf("evolve: seeding family %q: %w", name, err)
+		}
+		sc := grounds[0]
+		if !feasibleSomewhere(f, sc, opts.Ns) {
+			return nil, fmt.Errorf("evolve: family %q is infeasible at every configured n", name)
+		}
+		if len(pop) < opts.Population && !seen[candidateKey(sc)] {
+			seen[candidateKey(sc)] = true
+			pop = append(pop, sc)
+		}
+	}
+	if len(pop) == 0 {
+		return nil, fmt.Errorf("evolve: population %d cannot hold the %d family seeds", opts.Population, len(opts.Families))
+	}
+	fill(src, families, &pop, seen, opts)
+	return pop, nil
+}
+
+// nextPopulation keeps the Elite fittest candidates and refills the rest
+// with their mutations, round-robin over the elites.
+func nextPopulation(src *rng.Source, families map[string]campaign.Family, ranked []Candidate, opts Options) []campaign.Scenario {
+	var pop []campaign.Scenario
+	seen := map[string]bool{}
+	for i := 0; i < len(ranked) && len(pop) < opts.Elite; i++ {
+		sc := ranked[i].Scenario
+		if !seen[candidateKey(sc)] {
+			seen[candidateKey(sc)] = true
+			pop = append(pop, sc)
+		}
+	}
+	fill(src, families, &pop, seen, opts)
+	return pop
+}
+
+// fill mutates the current members round-robin until the population is
+// full or the mutation budget is spent (tiny search spaces may saturate;
+// a short generation is fine and still deterministic).
+func fill(src *rng.Source, families map[string]campaign.Family, pop *[]campaign.Scenario, seen map[string]bool, opts Options) {
+	base := append([]campaign.Scenario(nil), *pop...)
+	for attempts := 0; len(*pop) < opts.Population && attempts < 64*opts.Population; attempts++ {
+		parent := base[attempts%len(base)]
+		child, ok := mutate(src, families[parent.Adversary], parent, opts.Ns)
+		if !ok || seen[candidateKey(child)] {
+			continue
+		}
+		seen[candidateKey(child)] = true
+		*pop = append(*pop, child)
+	}
+}
+
+// mutate perturbs one randomly chosen parameter of the candidate,
+// re-validating the result through the registry (kind check, the
+// family's Check, feasibility at some configured n). Returns ok=false
+// when the family has no mutable params or no valid mutation was found
+// within the attempt budget.
+func mutate(src *rng.Source, f campaign.Family, cand campaign.Scenario, ns []int) (campaign.Scenario, bool) {
+	var mutable []campaign.Param
+	for _, p := range f.Params {
+		if p.Kind != campaign.StringParam { // no alphabet to explore
+			mutable = append(mutable, p)
+		}
+	}
+	if len(mutable) == 0 {
+		return campaign.Scenario{}, false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		p := mutable[src.Intn(len(mutable))]
+		params := make(map[string]any, len(cand.Params))
+		for k, v := range cand.Params {
+			params[k] = v
+		}
+		switch p.Kind {
+		case campaign.IntParam:
+			old := int(params[p.Name].(float64))
+			nv := old
+			switch src.Intn(4) {
+			case 0:
+				nv = old + 1 + src.Intn(3)
+			case 1:
+				nv = old - 1 - src.Intn(3)
+			case 2:
+				nv = old * 2
+			case 3:
+				nv = old / 2
+			}
+			if nv == old {
+				nv = old + 1
+			}
+			if nv < 0 {
+				nv = 0
+			}
+			params[p.Name] = float64(nv)
+		case campaign.FloatParam:
+			params[p.Name] = params[p.Name].(float64) * (0.5 + 1.5*src.Float64())
+		case campaign.BoolParam:
+			params[p.Name] = !params[p.Name].(bool)
+		}
+		grounds, err := campaign.GroundScenarios(campaign.Scenario{Adversary: cand.Adversary, Params: params})
+		if err != nil {
+			continue // the family's Check rejected the perturbation
+		}
+		child := grounds[0]
+		if !feasibleSomewhere(f, child, ns) {
+			continue
+		}
+		return child, true
+	}
+	return campaign.Scenario{}, false
+}
+
+// scorePopulation attaches each candidate's cell measurements and
+// fitness, then ranks fittest first (ties broken by the candidate's
+// canonical string, so the order — and the Report — is deterministic).
+func scorePopulation(pop []campaign.Scenario, families map[string]campaign.Family, ns []int, cells []campaign.CellStats) []Candidate {
+	out := make([]Candidate, 0, len(pop))
+	for _, sc := range pop {
+		c := Candidate{Scenario: sc}
+		sum := 0.0
+		for _, n := range ns {
+			name, err := campaign.CellName(sc, n)
+			if err != nil {
+				continue // cannot happen for a ground candidate
+			}
+			stats, ok := campaign.CellByKey(cells, name)
+			if !ok {
+				continue // infeasible at this n, or every trial failed
+			}
+			rounds := int(stats.Max)
+			c.Cells = append(c.Cells, CellScore{N: n, Cell: name, Rounds: rounds})
+			sum += float64(rounds) / float64(n)
+		}
+		if len(c.Cells) > 0 {
+			c.Fitness = sum / float64(len(c.Cells))
+		}
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Fitness != out[b].Fitness {
+			return out[a].Fitness > out[b].Fitness
+		}
+		return candidateKey(out[a].Scenario) < candidateKey(out[b].Scenario)
+	})
+	return out
+}

@@ -25,11 +25,16 @@ func DeepestLine(n, budget, width int) ([]*tree.Tree, int, error) {
 	if n < 1 || n > hardMaxN {
 		return nil, 0, fmt.Errorf("gamesolver: DeepestLine needs 1 <= n <= %d, got %d", hardMaxN, n)
 	}
+	// Non-positive knobs are configuration errors, not requests for a
+	// default: now that budget/width are reachable from campaign specs, a
+	// typo must fail validation instead of silently running a
+	// default-size search under the wrong cell label. (The registry's
+	// deepest-line family declares the defaults explicitly.)
 	if budget <= 0 {
-		budget = 2000
+		return nil, 0, fmt.Errorf("gamesolver: DeepestLine budget must be >= 1, got %d", budget)
 	}
 	if width <= 0 {
-		width = 4
+		return nil, 0, fmt.Errorf("gamesolver: DeepestLine width must be >= 1, got %d", width)
 	}
 	s := &Solver{}
 	s.init(n)

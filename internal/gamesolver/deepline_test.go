@@ -64,8 +64,19 @@ func TestDeepestLineValidation(t *testing.T) {
 	if _, _, err := DeepestLine(9, 100, 4); err == nil {
 		t.Error("n=9 accepted (beyond uint64 packing)")
 	}
-	// Defaults kick in for non-positive budget/width.
-	if _, depth, err := DeepestLine(3, 0, 0); err != nil || depth != 2 {
-		t.Errorf("defaults: depth=%d err=%v", depth, err)
+	// Non-positive budget/width are configuration errors, never silent
+	// defaults: a campaign cell labeled budget=0 must not run a
+	// default-size search (the registry family declares real defaults).
+	if _, _, err := DeepestLine(3, 0, 4); err == nil {
+		t.Error("budget=0 accepted")
+	}
+	if _, _, err := DeepestLine(3, -1, 4); err == nil {
+		t.Error("budget=-1 accepted")
+	}
+	if _, _, err := DeepestLine(3, 100, 0); err == nil {
+		t.Error("width=0 accepted")
+	}
+	if _, _, err := DeepestLine(3, 100, -2); err == nil {
+		t.Error("width=-2 accepted")
 	}
 }

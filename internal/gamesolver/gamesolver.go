@@ -477,14 +477,14 @@ func (c *rawCache) put(k uint64, v uint8) {
 // here is single-goroutine; all sharing goes through Solver.memo and the
 // work pool.
 type workerCtx struct {
-	s     *Solver
-	id    int
-	pool  *workPool
-	raw   rawCache
-	ps    permScratch
-	all   []uint64   // raw successor masks, pre-dedup (reused across calls)
-	tmp   []uint64   // radix-sort / popcount-sort scratch
-	pops  []uint64   // popcount-ordered distinct successors
+	s    *Solver
+	id   int
+	pool *workPool
+	raw  rawCache
+	ps   permScratch
+	all  []uint64   // raw successor masks, pre-dedup (reused across calls)
+	tmp  []uint64   // radix-sort / popcount-sort scratch
+	pops []uint64   // popcount-ordered distinct successors
 	succ [][]uint64 // per-depth pruned successor lists (live during recursion)
 	cnt  [256]uint32
 	bkt  [65]uint32 // popcount buckets (n² ≤ 64)

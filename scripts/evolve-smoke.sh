@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Evolutionary meta-campaign smoke, run by CI's evolve-smoke job: a tiny
+# two-generation cmd/evolve run twice against a shared cell cache must
+# emit byte-identical reports and winners (the warm run serving cells
+# from cache instead of re-searching), and the winning scenario must
+# replay through cmd/campaign byte-identically across two invocations —
+# the cross-process, end-to-end form of the determinism contract for the
+# search-backed families. Everything runs under mktemp.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/evolve" ./cmd/evolve
+go build -o "$WORK/campaign" ./cmd/campaign
+
+EVOLVE_ARGS=(-families beam-search,deepest-line,stale-ascending -ns 6
+  -population 4 -generations 2 -trials 2 -elite 2 -seed 1
+  -cache "$WORK/cells" -quiet)
+
+echo "== evolve run 1 (cold cache)"
+"$WORK/evolve" "${EVOLVE_ARGS[@]}" -out "$WORK/r1.json" -winner-out "$WORK/winner1.json"
+
+echo "== evolve run 2 (warm cache)"
+"$WORK/evolve" "${EVOLVE_ARGS[@]}" -out "$WORK/r2.json" -winner-out "$WORK/winner2.json"
+
+echo "== reports and winners byte-identical"
+diff "$WORK/r1.json" "$WORK/r2.json"
+diff "$WORK/winner1.json" "$WORK/winner2.json"
+
+echo "== witness reaches t*(T6) = 7 (the deepest-line generation-0 seed guarantees it)"
+grep -q '"rounds": 7' "$WORK/r1.json" || {
+  echo "report lacks the rounds=7 witness at n=6:" >&2
+  cat "$WORK/r1.json" >&2
+  exit 1
+}
+
+echo "== winner replays deterministically through cmd/campaign"
+"$WORK/campaign" -scenario "$(cat "$WORK/winner1.json")" -ns 6 -trials 3 -seed 5 \
+  -format json -quiet -out "$WORK/c1.json"
+"$WORK/campaign" -scenario "$(cat "$WORK/winner1.json")" -ns 6 -trials 3 -seed 5 \
+  -format json -quiet -out "$WORK/c2.json"
+diff "$WORK/c1.json" "$WORK/c2.json"
+
+echo "evolve smoke OK"
